@@ -1,0 +1,153 @@
+// Command ndpsim runs one workload on one configuration and prints the
+// collected statistics.
+//
+// Usage:
+//
+//	ndpsim -workload VADD -mode dyncache -scale 1 [-sms 64] [-nsumhz 350] [-verify]
+//
+// Modes: baseline, morecore, naive, static=<p>, dyn, dyncache.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/energy"
+	"ndpgpu/internal/sim"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+// ParseMode maps a CLI mode string to a sim.Mode and the configuration
+// adjustments it implies.
+func ParseMode(name string, cfg config.Config) (sim.Mode, config.Config, error) {
+	switch {
+	case name == "baseline":
+		return sim.Baseline, cfg, nil
+	case name == "morecore":
+		c := cfg
+		c.GPU.NumSMs += c.NumHMCs
+		return sim.Mode{Name: "Baseline_MoreCore"}, c, nil
+	case name == "naive":
+		return sim.NaiveNDP, cfg, nil
+	case name == "dyn":
+		return sim.DynNDP, cfg, nil
+	case name == "dyncache":
+		return sim.DynCache, cfg, nil
+	case strings.HasPrefix(name, "static="):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(name, "static="), 64)
+		if err != nil || p < 0 || p > 1 {
+			return sim.Mode{}, cfg, fmt.Errorf("bad static ratio %q", name)
+		}
+		return sim.StaticNDP(p), cfg, nil
+	default:
+		return sim.Mode{}, cfg, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "VADD", "workload abbreviation (see -list)")
+		mode     = flag.String("mode", "baseline", "baseline|morecore|naive|static=<p>|dyn|dyncache")
+		scale    = flag.Int("scale", 1, "problem-size scale factor")
+		sms      = flag.Int("sms", 0, "override SM count (0 = Table 2 default)")
+		nsuMHz   = flag.Int("nsumhz", 0, "override NSU clock in MHz (0 = default 350)")
+		roCache  = flag.Bool("nsurocache", false, "enable the §7.1 NSU read-only cache extension")
+		verify   = flag.Bool("verify", true, "check functional output against the host reference")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range workloads.Abbrs() {
+			fmt.Println(a)
+		}
+		return
+	}
+
+	cfg := config.Default()
+	if *sms > 0 {
+		cfg.GPU.NumSMs = *sms
+	}
+	if *nsuMHz > 0 {
+		cfg.NSU.ClockMHz = *nsuMHz
+	}
+	if *roCache {
+		cfg.NSU.ReadOnlyCacheBytes = 8 << 10
+	}
+	m, cfg, err := ParseMode(*mode, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	mem := vm.New(cfg)
+	w, err := workloads.Build(*workload, mem, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	machine, err := sim.Launch(cfg, w.Kernel, mem, m)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := machine.Run(0)
+	if err != nil {
+		fatal(err)
+	}
+	if *verify {
+		if err := w.Verify(); err != nil {
+			fatal(fmt.Errorf("functional verification FAILED: %w", err))
+		}
+	}
+	e := energy.Compute(res.Stats, cfg, energy.DefaultParams(), m.NDP)
+
+	st := res.Stats
+	if *jsonOut {
+		out := map[string]any{
+			"workload":  w.Abbr,
+			"input":     w.Input,
+			"mode":      m.Name,
+			"time_us":   float64(res.TimePS) / 1e6,
+			"sm_cycles": res.Cycles,
+			"stats":     st,
+			"energy_pj": e,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%s (%s) mode=%s\n", w.Abbr, w.Input, m.Name)
+	fmt.Printf("time: %.3f us  (%d SM cycles)\n", float64(res.TimePS)/1e6, res.Cycles)
+	fmt.Print(st.String())
+	fmt.Printf("energy (uJ): GPU=%.1f NSU=%.1f intra-HMC=%.1f off-chip=%.1f DRAM=%.1f total=%.1f\n",
+		e.GPU/1e6, e.NSU/1e6, e.IntraHMC/1e6, e.OffChip/1e6, e.DRAM/1e6, e.Total()/1e6)
+	if st.AckLatencyCount > 0 {
+		fmt.Printf("offload RTT: %.2f us avg over %d acks\n",
+			float64(st.AckLatencySumPS)/float64(st.AckLatencyCount)/1e6, st.AckLatencyCount)
+	}
+	if len(st.RatioTrace) > 0 {
+		fmt.Printf("final offload ratio: %.2f\n", st.RatioTrace[len(st.RatioTrace)-1])
+	}
+	if ca, ok := machine.Dec.(*core.CacheAware); ok {
+		fmt.Printf("cache-aware suppressed: %d instances\n", ca.Suppressed)
+	}
+	occ := st.NSUOccupancy(cfg.NSU.NumWarps, cfg.NumHMCs)
+	if m.NDP {
+		fmt.Printf("nsu: occupancy=%.1f%% icache-util=%.1f%%\n",
+			100*occ, 100*st.ICacheUtilization(cfg.NSU.ICacheBytes))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ndpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command ndpsweep regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ndpsweep -exp all
+//	ndpsweep -exp fig9 -scale 1
+//
+// Experiments: table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 inval
+// morecompute nsufreq rocache topology overhead all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/experiments"
+	"ndpgpu/internal/report"
+)
+
+// writeCSV writes a table into dir/name.
+func writeCSV(dir, name string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run")
+		scale  = flag.Int("scale", 1, "problem-size scale factor")
+		csvDir = flag.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
+	)
+	flag.Parse()
+	cfg := config.Default()
+	w := os.Stdout
+	start := time.Now()
+
+	need := func(names ...string) bool {
+		if *exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if *exp == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndpsweep:", err)
+			os.Exit(1)
+		}
+	}
+
+	if need("table1") {
+		fail(experiments.Table1(w, cfg, *scale))
+	}
+	if need("table2") {
+		experiments.Table2(w, cfg)
+	}
+	if need("overhead") {
+		experiments.Overhead(w, cfg)
+	}
+	if need("fig5") {
+		experiments.Figure5(w)
+	}
+	if need("fig7", "fig8") {
+		f7, err := experiments.Figure7(w, cfg, *scale)
+		fail(err)
+		if need("fig8") {
+			experiments.Figure8(w, f7)
+		}
+		if *csvDir != "" {
+			t := report.New("Figure 7 speedups over Baseline", "workload", "morecore", "naive")
+			for _, wl := range experiments.Workloads() {
+				base := f7.Rows[wl]["Baseline"]
+				t.AddFloats(wl,
+					f7.Rows[wl]["Baseline_MoreCore"].Speedup(base),
+					f7.Rows[wl]["NaiveNDP"].Speedup(base))
+			}
+			fail(writeCSV(*csvDir, "fig7.csv", t))
+		}
+	}
+	if need("fig9", "fig10", "fig11", "inval") {
+		f9, err := experiments.Figure9(w, cfg, *scale)
+		fail(err)
+		if *csvDir != "" {
+			cols := append([]string{"workload"}, f9.Modes[1:]...)
+			t := report.New("Figure 9 speedups over Baseline", cols...)
+			for _, wl := range experiments.Workloads() {
+				base := f9.Rows[wl]["Baseline"]
+				vals := make([]float64, 0, len(f9.Modes)-1)
+				for _, mode := range f9.Modes[1:] {
+					vals = append(vals, f9.Rows[wl][mode].Speedup(base))
+				}
+				t.AddFloats(wl, vals...)
+			}
+			fail(writeCSV(*csvDir, "fig9.csv", t))
+		}
+		if need("fig10") {
+			experiments.Figure10(w, f9)
+		}
+		if need("fig11") {
+			experiments.Figure11(w, f9, cfg)
+		}
+		if need("inval") {
+			experiments.InvalOverhead(w, f9)
+		}
+	}
+	if need("morecompute") {
+		fail(experiments.MoreCompute(w, *scale))
+	}
+	if need("nsufreq") {
+		fail(experiments.NSUFreq(w, *scale))
+	}
+	if need("rocache") {
+		fail(experiments.ROCacheAblation(w, *scale))
+	}
+	if need("topology") {
+		fail(experiments.TopologyAblation(w, *scale))
+	}
+	fmt.Fprintf(w, "\n[%s in %.1fs]\n", *exp, time.Since(start).Seconds())
+}

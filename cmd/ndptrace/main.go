@@ -1,0 +1,73 @@
+// Command ndptrace runs one workload with a packet-level trace of the
+// partitioned-execution protocol and prints the recorded events, optionally
+// filtered to a single offloaded warp — the "what did this offload actually
+// do on the wire" debugging view.
+//
+// Usage:
+//
+//	ndptrace -workload VADD -mode naive -sm 0 -warp 0 -max 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/sim"
+	"ndpgpu/internal/trace"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "VADD", "workload abbreviation")
+		mode     = flag.String("mode", "naive", "baseline|naive|dyn|dyncache")
+		smID     = flag.Int("sm", -1, "filter to this SM's warp (-1 = no filter)")
+		warpID   = flag.Int("warp", 0, "warp slot for -sm filtering")
+		max      = flag.Int("max", 100, "maximum events to retain")
+	)
+	flag.Parse()
+
+	var m sim.Mode
+	switch *mode {
+	case "baseline":
+		m = sim.Baseline
+	case "naive":
+		m = sim.NaiveNDP
+	case "dyn":
+		m = sim.DynNDP
+	case "dyncache":
+		m = sim.DynCache
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	cfg := config.Default()
+	mem := vm.New(cfg)
+	w, err := workloads.Build(*workload, mem, 1)
+	if err != nil {
+		fatal(err)
+	}
+	machine, err := sim.Launch(cfg, w.Kernel, mem, m)
+	if err != nil {
+		fatal(err)
+	}
+	rec := trace.NewRecorder(*max)
+	if *smID >= 0 {
+		rec.Filter = trace.FilterWarp(int32(*smID), int32(*warpID))
+	}
+	machine.Fabric().SetTracer(rec.Observe)
+
+	if _, err := machine.Run(0); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d packets observed, showing %d:\n", rec.Total(), len(rec.Events()))
+	fmt.Print(rec.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ndptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+// Package ndpgpu reproduces "Toward Standardized Near-Data Processing with
+// Unrestricted Data Placement for GPUs" (Kim, Chatterjee, O'Connor, Hsieh,
+// SC '17) as a self-contained Go simulation stack.
+//
+// The paper proposes an architecture-neutral near-data-processing design:
+// GPU kernels are partitioned so that address translation and memory-request
+// generation stay on the GPU while the data-touching computation of offload
+// blocks runs on NSUs (Near-data processing SIMD Units) in the logic layer
+// of HMC-like memory stacks, connected by a memory network. The stacks need
+// no MMU, TLB, or data cache, and data may be placed on any stack.
+//
+// Layout:
+//
+//   - internal/core        the partitioned-execution protocol (packets,
+//     credit-based buffer management, offload deciders)
+//   - internal/gpu, nsu, hmc, dram, cache, noc, vm, timing — the simulated
+//     machine (GPGPU-Sim-style substrate built from scratch)
+//   - internal/isa, kernel, analyzer — the virtual ISA and the §3 compiler
+//     pass that extracts offload blocks
+//   - internal/workloads   the ten Table 1 benchmarks
+//   - internal/experiments every table and figure of the evaluation
+//   - cmd/ndpsim, cmd/ndpsweep, cmd/ndpinspect — command-line tools
+//   - examples/            runnable walk-throughs of the public API
+//
+// The benchmarks in bench_test.go regenerate each figure; see EXPERIMENTS.md
+// for measured-vs-paper results and DESIGN.md for the system inventory.
+package ndpgpu

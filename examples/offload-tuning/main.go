@@ -1,0 +1,66 @@
+// Offload tuning: sweeps the static offload ratio over a bandwidth-bound
+// workload (the KMN kernel from the Table 1 suite) and then lets the
+// Algorithm 1 hill-climbing controller find a ratio dynamically, printing
+// its per-epoch trace. Reproduces the §7.1/§7.2 story at example scale.
+//
+//	go run ./examples/offload-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/sim"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+func run(cfg config.Config, mode sim.Mode) (us float64, trace []float64) {
+	mem := vm.New(cfg)
+	w, err := workloads.Build("KMN", mem, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sim.Launch(cfg, w.Kernel, mem, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	return float64(res.TimePS) / 1e6, res.Stats.RatioTrace
+}
+
+func main() {
+	cfg := config.Default()
+	base, _ := run(cfg, sim.Baseline)
+	fmt.Printf("baseline: %.1f us\n\n", base)
+
+	fmt.Println("static offload ratio sweep (§7.1):")
+	best := 0.0
+	bestT := base
+	for _, p := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		t, _ := run(cfg, sim.StaticNDP(p))
+		fmt.Printf("  ratio %.1f: %7.1f us  (speedup %.2fx)\n", p, t, base/t)
+		if t < bestT {
+			best, bestT = p, t
+		}
+	}
+	fmt.Printf("best static ratio: %.1f (%.2fx)\n\n", best, base/bestT)
+
+	t, trace := run(cfg, sim.DynNDP)
+	fmt.Printf("dynamic controller (Algorithm 1): %.1f us (speedup %.2fx)\n", t, base/t)
+	fmt.Print("per-epoch ratio trace: ")
+	for i, r := range trace {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("%.2f", r)
+	}
+	fmt.Println()
+}

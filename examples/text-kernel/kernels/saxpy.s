@@ -1,0 +1,15 @@
+; saxpy: y[i] = a*x[i] + y[i] with a from constant memory
+.kernel saxpy
+.grid   256
+.block  256
+.params 3
+
+    shli r16, r0, 2
+    add  r17, r5, r16      ; &x[i]
+    add  r18, r6, r16      ; &y[i]
+    ldc  r19, [r4+0]       ; a (constant)
+    ld   r20, [r17+0]
+    ld   r21, [r18+0]
+    fma  r22, r19, r20, r21
+    st   [r18+0], r22
+    exit

@@ -1,0 +1,63 @@
+// Text kernel: assemble saxpy.s (same directory), bind real data to its
+// parameters, run it under dynamic NDP, and verify the result — the
+// file-based workflow for writing kernels without the Go builder API.
+//
+//	go run ./examples/text-kernel
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"ndpgpu/internal/asm"
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/sim"
+	"ndpgpu/internal/vm"
+)
+
+func main() {
+	_, self, _, _ := runtime.Caller(0)
+	src, err := os.ReadFile(filepath.Join(filepath.Dir(self), "kernels", "saxpy.s"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := config.Default()
+	mem := vm.New(cfg)
+
+	const n = 64 * 1024
+	aConst := mem.Alloc(4) // the scalar lives in constant memory
+	x := mem.Alloc(4 * n)
+	y := mem.Alloc(4 * n)
+	mem.WriteF32(aConst, 3)
+	for i := 0; i < n; i++ {
+		mem.WriteF32(x+uint64(4*i), float32(i))
+		mem.WriteF32(y+uint64(4*i), 1)
+	}
+
+	k, err := asm.Parse(string(src), aConst, x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %s: %d instructions\n", k.Name, len(k.Code))
+
+	m, err := sim.Launch(cfg, k, mem, sim.DynNDP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i += 7919 {
+		want := float32(float32(3)*float32(i)) + 1
+		if got := mem.ReadF32(y + uint64(4*i)); got != want {
+			log.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+	fmt.Printf("saxpy over %d elements in %.2f us (%d block instances offloaded)\n",
+		n, float64(res.TimePS)/1e6, res.Stats.OffloadBlocksOffloaded)
+}

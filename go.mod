@@ -1,0 +1,3 @@
+module ndpgpu
+
+go 1.22

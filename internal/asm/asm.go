@@ -1,0 +1,479 @@
+// Package asm assembles textual virtual-ISA kernels into kernel.Kernel
+// values and formats kernels back to text. The syntax matches the
+// disassembler in package isa, with labels, predication, and launch
+// directives:
+//
+//	; c[i] = a[i] + b[i]
+//	.kernel vadd
+//	.grid   256
+//	.block  256
+//	.params 3            ; r4, r5, r6 hold the three runtime parameters
+//
+//	    shli r16, r0, 2
+//	    add  r17, r4, r16
+//	    add  r18, r5, r16
+//	    add  r19, r6, r16
+//	    ld   r20, [r17+0]
+//	    ld   r21, [r18+0]
+//	    fadd r22, r20, r21
+//	    st   [r19+0], r22
+//	    exit
+//
+// Labels are identifiers followed by a colon; branch operands may be a label
+// or an absolute instruction index. Predication uses the @rN / @!rN prefix.
+// The OFLD.BEG/OFLD.END brackets are inserted by the analyzer and are not
+// accepted as input.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+)
+
+// opsByName maps mnemonics to opcodes (SETP handled separately).
+var opsByName = map[string]isa.Opcode{
+	"nop": isa.NOP, "mov": isa.MOV, "movi": isa.MOVI,
+	"add": isa.ADD, "addi": isa.ADDI, "sub": isa.SUB,
+	"mul": isa.MUL, "muli": isa.MULI, "mad": isa.MAD,
+	"and": isa.AND, "andi": isa.ANDI, "or": isa.OR, "xor": isa.XOR,
+	"shl": isa.SHL, "shli": isa.SHLI, "shr": isa.SHR, "shri": isa.SHRI,
+	"min": isa.MIN, "max": isa.MAX,
+	"fadd": isa.FADD, "fsub": isa.FSUB, "fmul": isa.FMUL, "fdiv": isa.FDIV,
+	"fma": isa.FMA, "fmin": isa.FMIN, "fmax": isa.FMAX,
+	"fabs": isa.FABS, "fsqrt": isa.FSQRT, "i2f": isa.I2F, "f2i": isa.F2I,
+	"sel": isa.SEL,
+	"ld":  isa.LD, "st": isa.ST, "ldc": isa.LDC, "lds": isa.LDS, "sts": isa.STS,
+	"bra": isa.BRA, "brp": isa.BRP, "bar": isa.BAR, "exit": isa.EXIT,
+}
+
+var cmpByName = map[string]isa.CmpOp{
+	"eq": isa.CmpEQ, "ne": isa.CmpNE, "lt": isa.CmpLT, "le": isa.CmpLE,
+	"gt": isa.CmpGT, "ge": isa.CmpGE,
+	"flt": isa.CmpFLT, "fle": isa.CmpFLE, "fgt": isa.CmpFGT,
+	"fge": isa.CmpFGE, "feq": isa.CmpFEQ,
+}
+
+// Error reports a parse failure with its 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// DeclaredParams returns the value of the .params directive in the source
+// (0 if absent), without assembling the rest.
+func DeclaredParams(src string) int {
+	for _, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == ".params" {
+			if v, err := strconv.Atoi(fields[1]); err == nil && v >= 0 {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// Parse assembles source text into a kernel. Runtime parameter values (array
+// base addresses, scalars) are bound positionally to r4, r5, ...; their
+// count must match the .params directive.
+func Parse(src string, params ...uint64) (*kernel.Kernel, error) {
+	name := "kernel"
+	grid, block := 0, 0
+	nparams := -1
+
+	type pending struct {
+		pc    int
+		label string
+		line  int
+	}
+	var code []isa.Instr
+	labels := map[string]int{}
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		ln := lineNo + 1
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".kernel":
+				if len(fields) != 2 {
+					return nil, errf(ln, ".kernel takes one name")
+				}
+				name = fields[1]
+			case ".grid", ".block", ".params":
+				if len(fields) != 2 {
+					return nil, errf(ln, "%s takes one integer", fields[0])
+				}
+				v, err := strconv.Atoi(fields[1])
+				if err != nil || v < 0 {
+					return nil, errf(ln, "bad %s value %q", fields[0], fields[1])
+				}
+				switch fields[0] {
+				case ".grid":
+					grid = v
+				case ".block":
+					block = v
+				case ".params":
+					nparams = v
+				}
+			default:
+				return nil, errf(ln, "unknown directive %s", fields[0])
+			}
+			continue
+		}
+
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, errf(ln, "bad label %q", label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, errf(ln, "duplicate label %q", label)
+			}
+			labels[label] = len(code)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		in, labelRef, err := parseInstr(line, ln)
+		if err != nil {
+			return nil, err
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{pc: len(code), label: labelRef, line: ln})
+		}
+		code = append(code, in)
+	}
+
+	for _, f := range fixups {
+		pc, ok := labels[f.label]
+		if !ok {
+			return nil, errf(f.line, "undefined label %q", f.label)
+		}
+		code[f.pc].Imm = int64(pc)
+	}
+
+	if nparams >= 0 && nparams != len(params) {
+		return nil, fmt.Errorf("asm: kernel %s declares %d params, got %d values",
+			name, nparams, len(params))
+	}
+	if grid == 0 || block == 0 {
+		return nil, fmt.Errorf("asm: kernel %s needs .grid and .block directives", name)
+	}
+
+	k := &kernel.Kernel{Name: name, Code: code, GridDim: grid, BlockDim: block,
+		Params: append([]uint64(nil), params...)}
+	for _, in := range code {
+		for _, r := range []isa.Reg{in.Dst, in.Src[0], in.Src[1], in.Src[2], in.Pred} {
+			if int(r)+1 > k.RegsUsed {
+				k.RegsUsed = int(r) + 1
+			}
+		}
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return k, nil
+}
+
+// parseInstr parses one instruction line; returns an unresolved label name
+// if the branch target is symbolic.
+func parseInstr(line string, ln int) (isa.Instr, string, error) {
+	in := isa.New(isa.NOP)
+
+	// Predicate prefix: @rN or @!rN.
+	if strings.HasPrefix(line, "@") {
+		rest := line[1:]
+		neg := false
+		if strings.HasPrefix(rest, "!") {
+			neg = true
+			rest = rest[1:]
+		}
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return in, "", errf(ln, "predicate without instruction")
+		}
+		pr, err := parseReg(rest[:sp])
+		if err != nil {
+			return in, "", errf(ln, "bad predicate register %q", rest[:sp])
+		}
+		in.Pred, in.PredNeg = pr, neg
+		line = strings.TrimSpace(rest[sp:])
+	}
+
+	sp := strings.IndexAny(line, " \t")
+	mnemonic := line
+	rest := ""
+	if sp >= 0 {
+		mnemonic = line[:sp]
+		rest = strings.TrimSpace(line[sp:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+
+	// setp.<cmp>
+	if strings.HasPrefix(mnemonic, "setp.") {
+		cmp, ok := cmpByName[strings.TrimPrefix(mnemonic, "setp.")]
+		if !ok {
+			return in, "", errf(ln, "unknown comparison %q", mnemonic)
+		}
+		in.Op, in.Cmp = isa.SETP, cmp
+		ops, err := splitOperands(rest, 3, ln)
+		if err != nil {
+			return in, "", err
+		}
+		if in.Dst, err = parseReg(ops[0]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+		if in.Src[0], err = parseReg(ops[1]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+		if in.Src[1], err = parseReg(ops[2]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+		return in, "", nil
+	}
+
+	op, ok := opsByName[mnemonic]
+	if !ok {
+		return in, "", errf(ln, "unknown mnemonic %q", mnemonic)
+	}
+	in.Op = op
+
+	switch op {
+	case isa.NOP, isa.BAR, isa.EXIT:
+		if rest != "" {
+			return in, "", errf(ln, "%s takes no operands", mnemonic)
+		}
+		return in, "", nil
+
+	case isa.BRA:
+		return parseBranchTarget(in, rest, ln)
+
+	case isa.BRP:
+		ops, err := splitOperands(rest, 2, ln)
+		if err != nil {
+			return in, "", err
+		}
+		if in.Src[0], err = parseReg(ops[0]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+		return parseBranchTarget(in, ops[1], ln)
+
+	case isa.LD, isa.LDC, isa.LDS:
+		ops, err := splitOperands(rest, 2, ln)
+		if err != nil {
+			return in, "", err
+		}
+		if in.Dst, err = parseReg(ops[0]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+		addr, off, err := parseMemRef(ops[1], ln)
+		if err != nil {
+			return in, "", err
+		}
+		in.Src[0], in.Imm = addr, off
+		return in, "", nil
+
+	case isa.ST, isa.STS:
+		ops, err := splitOperands(rest, 2, ln)
+		if err != nil {
+			return in, "", err
+		}
+		addr, off, err := parseMemRef(ops[0], ln)
+		if err != nil {
+			return in, "", err
+		}
+		in.Src[0], in.Imm = addr, off
+		if in.Src[1], err = parseReg(ops[1]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+		return in, "", nil
+
+	case isa.MOVI:
+		ops, err := splitOperands(rest, 2, ln)
+		if err != nil {
+			return in, "", err
+		}
+		if in.Dst, err = parseReg(ops[0]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+		if in.Imm, err = parseImm(ops[1]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+		return in, "", nil
+	}
+
+	// Register-form ALU ops; immediate forms read (dst, src, imm).
+	nsrc := op.SrcCount()
+	want := 1 + nsrc
+	if op.HasImm() {
+		want++
+	}
+	ops, err := splitOperands(rest, want, ln)
+	if err != nil {
+		return in, "", err
+	}
+	if in.Dst, err = parseReg(ops[0]); err != nil {
+		return in, "", errf(ln, "%v", err)
+	}
+	for i := 0; i < nsrc; i++ {
+		if in.Src[i], err = parseReg(ops[1+i]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+	}
+	if op.HasImm() {
+		if in.Imm, err = parseImm(ops[want-1]); err != nil {
+			return in, "", errf(ln, "%v", err)
+		}
+	}
+	return in, "", nil
+}
+
+func parseBranchTarget(in isa.Instr, tok string, ln int) (isa.Instr, string, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return in, "", errf(ln, "branch needs a target")
+	}
+	if v, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		in.Imm = v
+		return in, "", nil
+	}
+	if !isIdent(tok) {
+		return in, "", errf(ln, "bad branch target %q", tok)
+	}
+	return in, tok, nil
+}
+
+func splitOperands(rest string, want int, ln int) ([]string, error) {
+	if rest == "" {
+		if want == 0 {
+			return nil, nil
+		}
+		return nil, errf(ln, "expected %d operands, got none", want)
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, errf(ln, "empty operand")
+		}
+	}
+	if len(parts) != want {
+		return nil, errf(ln, "expected %d operands, got %d", want, len(parts))
+	}
+	return parts, nil
+}
+
+func parseReg(tok string) (isa.Reg, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 2 || (tok[0] != 'r' && tok[0] != 'R') {
+		return isa.RNone, fmt.Errorf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return isa.RNone, fmt.Errorf("bad register %q", tok)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseImm(tok string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return v, nil
+}
+
+// parseMemRef parses "[rN+off]" or "[rN-off]" or "[rN]".
+func parseMemRef(tok string, ln int) (isa.Reg, int64, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 2 || tok[0] != '[' || tok[len(tok)-1] != ']' {
+		return isa.RNone, 0, errf(ln, "bad memory operand %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	sign := int64(1)
+	var regTok, offTok string
+	if i := strings.IndexByte(inner, '+'); i >= 0 {
+		regTok, offTok = inner[:i], inner[i+1:]
+	} else if i := strings.IndexByte(inner, '-'); i > 0 {
+		regTok, offTok = inner[:i], inner[i+1:]
+		sign = -1
+	} else {
+		regTok = inner
+	}
+	r, err := parseReg(regTok)
+	if err != nil {
+		return isa.RNone, 0, errf(ln, "%v", err)
+	}
+	var off int64
+	if offTok != "" {
+		off, err = parseImm(offTok)
+		if err != nil {
+			return isa.RNone, 0, errf(ln, "%v", err)
+		}
+	}
+	return r, sign * off, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders a kernel as parseable assembly text, including the launch
+// directives. Parse(Format(k), k.Params...) reproduces the kernel.
+func Format(k *kernel.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s\n.grid %d\n.block %d\n.params %d\n\n",
+		k.Name, k.GridDim, k.BlockDim, len(k.Params))
+	for _, in := range k.Code {
+		b.WriteString("    ")
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

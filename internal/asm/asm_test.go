@@ -1,0 +1,295 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+)
+
+const vaddSrc = `
+; c[i] = a[i] + b[i]
+.kernel vadd
+.grid   4
+.block  64
+.params 3
+
+    shli r16, r0, 2
+    add  r17, r4, r16
+    add  r18, r5, r16
+    add  r19, r6, r16
+    ld   r20, [r17+0]
+    ld   r21, [r18+0]
+    fadd r22, r20, r21
+    st   [r19+0], r22
+    exit
+`
+
+func TestParseVadd(t *testing.T) {
+	k, err := Parse(vaddSrc, 0x1000, 0x2000, 0x3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "vadd" || k.GridDim != 4 || k.BlockDim != 64 {
+		t.Fatalf("directives wrong: %+v", k)
+	}
+	if len(k.Code) != 9 {
+		t.Fatalf("code len = %d", len(k.Code))
+	}
+	if k.Code[4].Op != isa.LD || k.Code[4].Dst != 20 || k.Code[4].Src[0] != 17 {
+		t.Fatalf("ld parsed wrong: %+v", k.Code[4])
+	}
+	if k.Code[7].Op != isa.ST || k.Code[7].Src[1] != 22 {
+		t.Fatalf("st parsed wrong: %+v", k.Code[7])
+	}
+	if k.RegsUsed != 23 {
+		t.Fatalf("RegsUsed = %d, want 23", k.RegsUsed)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	src := `
+.kernel loop
+.grid 1
+.block 32
+.params 0
+    movi r16, 4
+top:
+    addi r16, r16, -1
+    movi r17, 0
+    setp.gt r18, r16, r17
+    brp r18, top
+    bra done
+done:
+    exit
+`
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Code[4].Op != isa.BRP || k.Code[4].Imm != 1 {
+		t.Fatalf("brp target = %d, want 1", k.Code[4].Imm)
+	}
+	if k.Code[5].Op != isa.BRA || k.Code[5].Imm != 6 {
+		t.Fatalf("bra target = %d, want 6", k.Code[5].Imm)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	src := `
+.kernel pred
+.grid 1
+.block 32
+.params 1
+    andi r16, r0, 1
+    @r16 ld r17, [r4+0]
+    @!r16 movi r17, 0
+    st [r4+0], r17
+    exit
+`
+	k, err := Parse(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Code[1].Pred != 16 || k.Code[1].PredNeg {
+		t.Fatalf("positive predicate wrong: %+v", k.Code[1])
+	}
+	if k.Code[2].Pred != 16 || !k.Code[2].PredNeg {
+		t.Fatalf("negated predicate wrong: %+v", k.Code[2])
+	}
+}
+
+func TestNegativeOffsetsAndHex(t *testing.T) {
+	src := `
+.kernel offs
+.grid 1
+.block 32
+.params 1
+    ld r16, [r4-4]
+    movi r17, 0x10
+    st [r4+0x20], r16
+    exit
+`
+	k, err := Parse(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Code[0].Imm != -4 {
+		t.Fatalf("negative offset = %d", k.Code[0].Imm)
+	}
+	if k.Code[1].Imm != 16 || k.Code[2].Imm != 32 {
+		t.Fatalf("hex immediates wrong: %d %d", k.Code[1].Imm, k.Code[2].Imm)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown op", ".grid 1\n.block 32\nfrob r1, r2\nexit", "unknown mnemonic"},
+		{"bad reg", ".grid 1\n.block 32\nmov r1, r99\nexit", "bad register"},
+		{"missing operand", ".grid 1\n.block 32\nadd r1, r2\nexit", "expected 3 operands"},
+		{"undefined label", ".grid 1\n.block 32\nbra nowhere\nexit", "undefined label"},
+		{"dup label", ".grid 1\n.block 32\nx:\nx:\nexit", "duplicate label"},
+		{"no grid", ".block 32\nexit", ".grid"},
+		{"param mismatch", ".grid 1\n.block 32\n.params 2\nexit", "declares 2 params"},
+		{"bad directive", ".frobnicate 3\nexit", "unknown directive"},
+		{"bar operands", ".grid 1\n.block 32\nbar r1\nexit", "takes no operands"},
+		{"ofld rejected", ".grid 1\n.block 32\nofld.beg blk0\nexit", "unknown mnemonic"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Parse(".grid 1\n.block 32\nmov r1, r2\nbogus r1\nexit")
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 4 {
+		t.Fatalf("error line = %d, want 4", ae.Line)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	k1, err := Parse(vaddSrc, 0x1000, 0x2000, 0x3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(k1)
+	k2, err := Parse(text, 0x1000, 0x2000, 0x3000)
+	if err != nil {
+		t.Fatalf("re-parse of formatted kernel failed: %v\n%s", err, text)
+	}
+	if len(k1.Code) != len(k2.Code) {
+		t.Fatalf("round trip changed code length: %d vs %d", len(k1.Code), len(k2.Code))
+	}
+	for i := range k1.Code {
+		if k1.Code[i] != k2.Code[i] {
+			t.Fatalf("instr %d differs:\n  %v\n  %v", i, k1.Code[i], k2.Code[i])
+		}
+	}
+}
+
+func TestRoundTripBuilderKernels(t *testing.T) {
+	// Build a kernel covering predication, setp variants, branches, and
+	// memory ops with the builder, then round-trip through text.
+	kb := kernel.NewBuilder()
+	top := kb.NewLabel()
+	kb.MovI(16, 3)
+	kb.Bind(top)
+	kb.OpImm(isa.SHLI, 17, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 18, kernel.RegParam0, 17)
+	kb.Ld(19, 18, 0)
+	kb.Ldc(20, kernel.RegParam0+1, 8)
+	pc := kb.Op4(isa.FMA, 21, 19, 20, 19)
+	kb.Predicate(pc, 16, true)
+	kb.Setp(isa.CmpFLT, 22, 21, 19)
+	kb.Op4(isa.SEL, 23, 21, 19, 22)
+	kb.St(18, 4, 23)
+	kb.OpImm(isa.ADDI, 16, 16, -1)
+	kb.MovI(24, 0)
+	kb.Setp(isa.CmpGT, 25, 16, 24)
+	kb.Brp(25, top)
+	kb.Exit()
+	k1 := kb.MustBuild("mix", 2, 64, 0x1000, 0x2000)
+
+	k2, err := Parse(Format(k1), k1.Params...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, Format(k1))
+	}
+	for i := range k1.Code {
+		a, b := k1.Code[i], k2.Code[i]
+		// BlockID defaults differ only if the analyzer ran; compare fields.
+		a.BlockID, b.BlockID = 0, 0
+		if a != b {
+			t.Fatalf("instr %d differs:\n  %v\n  %v", i, k1.Code[i], k2.Code[i])
+		}
+	}
+}
+
+func TestRoundTripRandomKernels(t *testing.T) {
+	// Property: Format -> Parse is the identity for arbitrary generated
+	// kernels (predicates, setp variants, all memory spaces, branches).
+	ops := []isa.Opcode{isa.FADD, isa.FMUL, isa.ADD, isa.XOR, isa.MIN, isa.SHL}
+	for trial := 0; trial < 50; trial++ {
+		rng := trialRNG(trial)
+		kb := kernel.NewBuilder()
+		var loop *kernel.Label
+		if rng(2) == 0 {
+			kb.MovI(16, 3)
+			loop = kb.NewLabel()
+			kb.Bind(loop)
+		}
+		n := 3 + rng(10)
+		for i := 0; i < n; i++ {
+			dst := isa.Reg(20 + rng(30))
+			a := isa.Reg(4 + rng(20))
+			b := isa.Reg(4 + rng(20))
+			switch rng(6) {
+			case 0:
+				pc := kb.Op3(ops[rng(len(ops))], dst, a, b)
+				if rng(3) == 0 {
+					kb.Predicate(pc, isa.Reg(16+rng(4)), rng(2) == 0)
+				}
+			case 1:
+				kb.Ld(dst, a, int64(4*rng(8)))
+			case 2:
+				kb.St(a, int64(4*rng(8)), b)
+			case 3:
+				kb.Ldc(dst, a, int64(4*rng(4)))
+			case 4:
+				kb.Setp([]isa.CmpOp{isa.CmpEQ, isa.CmpFLT, isa.CmpGE}[rng(3)], dst, a, b)
+			case 5:
+				kb.MovI(dst, int64(rng(1000)-500))
+			}
+		}
+		if loop != nil {
+			kb.OpImm(isa.ADDI, 16, 16, -1)
+			kb.MovI(17, 0)
+			kb.Setp(isa.CmpGT, 18, 16, 17)
+			kb.Brp(18, loop)
+		}
+		kb.Exit()
+		k1 := kb.MustBuild("rt", 1, 32, 1, 2, 3)
+		k2, err := Parse(Format(k1), k1.Params...)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, Format(k1))
+		}
+		for i := range k1.Code {
+			a, b := k1.Code[i], k2.Code[i]
+			a.BlockID, b.BlockID = 0, 0
+			if a != b {
+				t.Fatalf("trial %d instr %d: %v != %v", trial, i, k1.Code[i], k2.Code[i])
+			}
+		}
+	}
+}
+
+// trialRNG is a tiny deterministic generator for the round-trip property.
+func trialRNG(seed int) func(n int) int {
+	state := uint64(seed)*2654435761 + 12345
+	return func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+}
+
+func TestDeclaredParams(t *testing.T) {
+	if got := DeclaredParams(".kernel k\n.params 5\nexit"); got != 5 {
+		t.Fatalf("DeclaredParams = %d, want 5", got)
+	}
+	if got := DeclaredParams("exit"); got != 0 {
+		t.Fatalf("absent .params = %d, want 0", got)
+	}
+	if got := DeclaredParams("; .params 9\n.params 2\nexit"); got != 2 {
+		t.Fatalf("comment skipped wrongly: %d", got)
+	}
+}

@@ -1,0 +1,50 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"ndpgpu/internal/asm"
+)
+
+func ExampleParse() {
+	src := `
+.kernel scale
+.grid   1
+.block  32
+.params 2
+
+    shli r16, r0, 2
+    add  r17, r4, r16
+    ld   r18, [r17+0]
+    fadd r19, r18, r18
+    add  r20, r5, r16
+    st   [r20+0], r19
+    exit
+`
+	k, err := asm.Parse(src, 0x1000, 0x2000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: %d instructions over %d threads\n",
+		k.Name, len(k.Code), k.Threads())
+	// Output: scale: 7 instructions over 32 threads
+}
+
+func ExampleFormat() {
+	src := ".kernel tiny\n.grid 1\n.block 32\n.params 0\nmovi r16, 7\nexit\n"
+	k, err := asm.Parse(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(asm.Format(k))
+	// Output:
+	// .kernel tiny
+	// .grid 1
+	// .block 32
+	// .params 0
+	//
+	//     movi r16, 7
+	//     exit
+}

@@ -1,0 +1,38 @@
+package cache
+
+import (
+	"testing"
+
+	"ndpgpu/internal/config"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(config.Default().GPU.L1D)
+	c.Fill(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(0x1000)
+	}
+}
+
+func BenchmarkLookupMissFill(b *testing.B) {
+	c := New(config.Default().GPU.L2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i) * 128
+		if !c.Lookup(addr) {
+			c.Fill(addr)
+		}
+	}
+}
+
+func BenchmarkMSHRReserveRelease(b *testing.B) {
+	c := New(config.Default().GPU.L1D)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%32) * 128
+		if ok, _ := c.MSHRReserve(addr); ok {
+			c.MSHRRelease(addr)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package config defines the simulated system configuration.
+//
+// The default values reproduce Table 2 of Kim et al., "Toward Standardized
+// Near-Data Processing with Unrestricted Data Placement for GPUs" (SC '17):
+// a 64-SM GPU attached to 8 HMC-like memory stacks through 8 bidirectional
+// 20 GB/s links, with an NSU (Near-data processing SIMD Unit) on the logic
+// layer of each stack and a 3D-hypercube memory network between stacks.
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GPUConfig describes the host GPU (Table 2, "GPU" section).
+type GPUConfig struct {
+	NumSMs int // number of streaming multiprocessors
+
+	// Per-SM limits.
+	MaxThreadsPerSM int // hardware thread contexts per SM
+	MaxCTAsPerSM    int // concurrent thread blocks per SM
+	MaxRegsPerSM    int // register file capacity (32-bit regs)
+	WarpWidth       int // threads per warp
+	ScratchpadBytes int // shared-memory capacity per SM
+
+	// Execution resources per SM.
+	NumALUs      int // SIMD ALU pipelines (each executes one warp instr/cycle)
+	NumLSUs      int // load/store units
+	ALULatency   int // cycles from issue to writeback for ALU ops
+	MaxIssue     int // instructions issued per cycle per SM
+	L1HitLatency int // L1 data cache hit latency (SM cycles)
+	L2Latency    int // L2 access latency (L2-clock cycles, excluding queuing)
+	// Address translation lives on the GPU (the paper's core premise): a
+	// per-SM TLB over 4 KB pages with a fixed page-walk penalty on miss.
+	TLBEntries     int
+	TLBWays        int
+	TLBMissLatency int    // SM cycles
+	SchedulerKind  string // "gto" or "rr"
+
+	// Clocks in MHz (Table 2: SM, Xbar, L2 clock: 700, 1250, 700 MHz).
+	SMClockMHz   int
+	XbarClockMHz int
+	L2ClockMHz   int
+
+	// Caches.
+	L1I CacheGeom
+	L1D CacheGeom
+	L2  CacheGeom // total across all slices; one slice per HMC link
+
+	// Off-chip connectivity: one bidirectional link per HMC.
+	LinkGBps float64 // per direction, per link (Table 2: 20 GB/s)
+}
+
+// CacheGeom is the geometry of a set-associative cache.
+type CacheGeom struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	MSHRs     int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g CacheGeom) Sets() int {
+	if g.Ways == 0 || g.LineBytes == 0 {
+		return 0
+	}
+	return g.SizeBytes / (g.Ways * g.LineBytes)
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g CacheGeom) Validate() error {
+	if g.SizeBytes <= 0 || g.Ways <= 0 || g.LineBytes <= 0 {
+		return fmt.Errorf("cache geometry fields must be positive: %+v", g)
+	}
+	if g.SizeBytes%(g.Ways*g.LineBytes) != 0 {
+		return fmt.Errorf("cache size %d not divisible by ways*line %d", g.SizeBytes, g.Ways*g.LineBytes)
+	}
+	s := g.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache sets %d not a power of two", s)
+	}
+	return nil
+}
+
+// HMCConfig describes one memory stack (Table 2, "HMC" section).
+type HMCConfig struct {
+	NumVaults     int
+	BanksPerVault int
+	SizeBytes     int64 // capacity per stack
+	VaultQueue    int   // vault request queue size (FR-FCFS window)
+
+	// DRAM timing in units of tCK.
+	TCKps int // tCK in picoseconds (Table 2: 1.50 ns)
+	TRP   int
+	TCCD  int
+	TRCD  int
+	TCL   int
+	TWR   int
+	TRAS  int
+
+	RowBytes int // DRAM row size per bank (4 KB per the energy model)
+
+	// Refresh: every TREFIps the vault performs an all-bank refresh taking
+	// TRFCps, during which no commands issue.
+	TREFIps int
+	TRFCps  int
+
+	// Inter-stack memory network (3D hypercube over 8 stacks).
+	NetLinkGBps    float64 // per direction per link
+	NetLinksPerHMC int     // paper uses 3 of the 4 HMC links
+	RouterLatPS    int     // per-hop router latency in picoseconds
+	// NetTopology selects the inter-stack network: "hypercube" (the
+	// paper's choice, 3 links/stack) or "ring" (2 links/stack) for the
+	// design-choice ablation.
+	NetTopology string
+}
+
+// NSUConfig describes the near-data SIMD unit on each stack's logic layer.
+type NSUConfig struct {
+	ClockMHz   int // Table 2: 350 MHz (half of SM clock)
+	NumWarps   int // warp slots (Table 2: 48)
+	WarpWidth  int
+	IssueWidth int // instruction slots per NSU cycle (across warps)
+	// PhysSIMDWidth is the physical SIMD datapath width (§4.5): logical
+	// 32-lane warps execute over ceil(active/phys) slots via temporal SIMT.
+	PhysSIMDWidth   int
+	ALULatency      int
+	ICacheBytes     int // 4 KB
+	ConstCacheBytes int // 4 KB
+	// ReadOnlyCacheBytes enables the paper's §7.1 future-work extension: a
+	// small read-only cache on each NSU for hot lines that RDF responses
+	// keep re-shipping (the BPROP pathology). 0 disables it (the paper's
+	// base design).
+	ReadOnlyCacheBytes int
+	ReadDataEntries    int // read data buffer: 128 B x 256 entries
+	WriteAddrEntries   int // write address buffer: 128 B x 256 entries
+	CmdEntries         int // offload command buffer: 10 entries
+	EntryBytes         int // 128 B per read-data/write-address entry
+}
+
+// NDPConfig carries protocol-level constants of the partitioned-execution
+// mechanism: packet overheads, SM-side buffers, and offload-decision knobs.
+type NDPConfig struct {
+	// SM-side packet buffers (Table 2): 8 B x 300 pending, 8 B x 64 ready.
+	PendingEntries int
+	ReadyEntries   int
+
+	// Packet header overhead in bytes (offload packet ID + routing fields,
+	// Figure 4). Address/command overhead is the same for baseline requests.
+	HeaderBytes int
+	WordBytes   int // data word size per thread (4 B)
+
+	// Dynamic offload ratio controller (Algorithm 1 constants, §7.2).
+	EpochCycles  int64   // 30,000 SM cycles
+	InitRatio    float64 // 0.1
+	InitStep     float64 // 0.15
+	StepUnit     float64 // 0.05
+	MinStep      float64 // 0.05
+	MaxStep      float64 // 0.15
+	WindowSize   int     // 4
+	DecisionSeed int64   // RNG seed for ratio-based offload sampling
+}
+
+// MemConfig describes the virtual memory system.
+type MemConfig struct {
+	PageBytes     int   // 4 KB pages
+	PlacementSeed int64 // seed for random page->HMC placement
+}
+
+// Config is the complete system configuration.
+type Config struct {
+	GPU     GPUConfig
+	HMC     HMCConfig
+	NumHMCs int
+	NSU     NSUConfig
+	NDP     NDPConfig
+	Mem     MemConfig
+}
+
+// Default returns the Table 2 configuration.
+func Default() Config {
+	return Config{
+		GPU: GPUConfig{
+			NumSMs:          64,
+			MaxThreadsPerSM: 1536,
+			MaxCTAsPerSM:    8,
+			MaxRegsPerSM:    32768,
+			WarpWidth:       32,
+			ScratchpadBytes: 48 << 10,
+			NumALUs:         2,
+			NumLSUs:         1,
+			ALULatency:      8,
+			MaxIssue:        1,
+			L1HitLatency:    4,
+			L2Latency:       30,
+			TLBEntries:      64,
+			TLBWays:         8,
+			TLBMissLatency:  80,
+			SchedulerKind:   "gto",
+			SMClockMHz:      700,
+			XbarClockMHz:    1250,
+			L2ClockMHz:      700,
+			L1I:             CacheGeom{SizeBytes: 4 << 10, Ways: 4, LineBytes: 128, MSHRs: 2},
+			L1D:             CacheGeom{SizeBytes: 32 << 10, Ways: 4, LineBytes: 128, MSHRs: 48},
+			L2:              CacheGeom{SizeBytes: 2 << 20, Ways: 16, LineBytes: 128, MSHRs: 48},
+			LinkGBps:        20,
+		},
+		HMC: HMCConfig{
+			NumVaults:      16,
+			BanksPerVault:  16,
+			SizeBytes:      4 << 30,
+			VaultQueue:     64,
+			TCKps:          1500,
+			TRP:            9,
+			TCCD:           4,
+			TRCD:           9,
+			TCL:            9,
+			TWR:            12,
+			TRAS:           24,
+			RowBytes:       4 << 10,
+			TREFIps:        7_800_000, // 7.8 us
+			TRFCps:         160_000,   // 160 ns all-bank refresh
+			NetLinkGBps:    20,
+			NetTopology:    "hypercube",
+			NetLinksPerHMC: 3,
+			RouterLatPS:    4500, // 3 tCK of routing latency per hop
+		},
+		NumHMCs: 8,
+		NSU: NSUConfig{
+			ClockMHz:         350,
+			NumWarps:         48,
+			WarpWidth:        32,
+			IssueWidth:       2,
+			PhysSIMDWidth:    32,
+			ALULatency:       8,
+			ICacheBytes:      4 << 10,
+			ConstCacheBytes:  4 << 10,
+			ReadDataEntries:  256,
+			WriteAddrEntries: 256,
+			CmdEntries:       10,
+			EntryBytes:       128,
+		},
+		NDP: NDPConfig{
+			PendingEntries: 300,
+			ReadyEntries:   64,
+			HeaderBytes:    16,
+			WordBytes:      4,
+			// The paper uses 30,000-cycle epochs on full-size workloads;
+			// our problem sizes are scaled down ~30x, so the epoch scales
+			// with them to give the controller a comparable number of
+			// decisions per run.
+			EpochCycles:  4000,
+			InitRatio:    0.1,
+			InitStep:     0.15,
+			StepUnit:     0.05,
+			MinStep:      0.05,
+			MaxStep:      0.15,
+			WindowSize:   4,
+			DecisionSeed: 1,
+		},
+		Mem: MemConfig{
+			PageBytes:     4 << 10,
+			PlacementSeed: 42,
+		},
+	}
+}
+
+// MoreCore returns the Baseline_MoreCore configuration of §6: the baseline
+// GPU with 8 additional SMs (one per HMC) and no NDP.
+func MoreCore() Config {
+	c := Default()
+	c.GPU.NumSMs += c.NumHMCs
+	return c
+}
+
+// DoubleCompute returns the §7.3 sensitivity configuration with twice the
+// number of SMs (the L2 is also doubled to keep per-SM cache constant).
+func DoubleCompute() Config {
+	c := Default()
+	c.GPU.NumSMs *= 2
+	c.GPU.L2.SizeBytes *= 2
+	return c
+}
+
+// WithNSUReadOnlyCache returns the configuration with the §7.1 future-work
+// extension enabled: an 8 KB read-only cache per NSU.
+func WithNSUReadOnlyCache() Config {
+	c := Default()
+	c.NSU.ReadOnlyCacheBytes = 8 << 10
+	return c
+}
+
+// HalfNSUClock returns the §7.6 sensitivity configuration with the NSU
+// running at 175 MHz instead of 350 MHz.
+func HalfNSUClock() Config {
+	c := Default()
+	c.NSU.ClockMHz /= 2
+	return c
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.NumHMCs <= 0 || c.NumHMCs&(c.NumHMCs-1) != 0 {
+		return fmt.Errorf("NumHMCs must be a positive power of two, got %d", c.NumHMCs)
+	}
+	if c.GPU.NumSMs <= 0 {
+		return errors.New("NumSMs must be positive")
+	}
+	if c.GPU.WarpWidth <= 0 || c.GPU.MaxThreadsPerSM%c.GPU.WarpWidth != 0 {
+		return fmt.Errorf("MaxThreadsPerSM %d not a multiple of warp width %d",
+			c.GPU.MaxThreadsPerSM, c.GPU.WarpWidth)
+	}
+	if c.NSU.WarpWidth != c.GPU.WarpWidth {
+		return fmt.Errorf("NSU warp width %d != GPU warp width %d", c.NSU.WarpWidth, c.GPU.WarpWidth)
+	}
+	for _, g := range []CacheGeom{c.GPU.L1I, c.GPU.L1D, c.GPU.L2} {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.HMC.NumVaults <= 0 || c.HMC.NumVaults&(c.HMC.NumVaults-1) != 0 {
+		return fmt.Errorf("NumVaults must be a power of two, got %d", c.HMC.NumVaults)
+	}
+	if c.HMC.BanksPerVault <= 0 || c.HMC.BanksPerVault&(c.HMC.BanksPerVault-1) != 0 {
+		return fmt.Errorf("BanksPerVault must be a power of two, got %d", c.HMC.BanksPerVault)
+	}
+	if c.Mem.PageBytes <= 0 || c.Mem.PageBytes&(c.Mem.PageBytes-1) != 0 {
+		return fmt.Errorf("PageBytes must be a power of two, got %d", c.Mem.PageBytes)
+	}
+	if c.Mem.PageBytes%c.GPU.L2.LineBytes != 0 {
+		return errors.New("page size must be a multiple of the cache line size")
+	}
+	if c.GPU.SMClockMHz <= 0 || c.GPU.L2ClockMHz <= 0 || c.GPU.XbarClockMHz <= 0 || c.NSU.ClockMHz <= 0 {
+		return errors.New("all clocks must be positive")
+	}
+	if c.HMC.TCKps <= 0 {
+		return errors.New("tCK must be positive")
+	}
+	if c.NSU.PhysSIMDWidth <= 0 || c.NSU.WarpWidth%c.NSU.PhysSIMDWidth != 0 {
+		return fmt.Errorf("NSU physical SIMD width %d must divide warp width %d",
+			c.NSU.PhysSIMDWidth, c.NSU.WarpWidth)
+	}
+	switch c.HMC.NetTopology {
+	case "hypercube", "ring", "":
+	default:
+		return fmt.Errorf("unknown memory-network topology %q", c.HMC.NetTopology)
+	}
+	if c.NDP.WindowSize <= 0 {
+		return errors.New("dynamic-ratio window size must be positive")
+	}
+	if c.NDP.EpochCycles <= 0 {
+		return errors.New("epoch length must be positive")
+	}
+	return nil
+}
+
+// LineBytes returns the system-wide cache line / memory access granularity.
+func (c Config) LineBytes() int { return c.GPU.L2.LineBytes }
+
+// WarpsPerSM returns the number of hardware warp contexts per SM.
+func (c Config) WarpsPerSM() int { return c.GPU.MaxThreadsPerSM / c.GPU.WarpWidth }
+
+// PacketBufferBytesPerSM returns the per-SM storage for the NDP pending and
+// ready packet buffers (§7.5 reports 2.84 KB with the Table 2 sizes).
+func (c Config) PacketBufferBytesPerSM() int {
+	return 8 * (c.NDP.PendingEntries + c.NDP.ReadyEntries)
+}
+
+// OnChipStorageBytesPerSM returns the per-SM on-chip storage used to compute
+// the §7.5 overhead figure: L1I + L1D + scratchpad + a proportional share of
+// the L2.
+func (c Config) OnChipStorageBytesPerSM() int {
+	return c.GPU.L1I.SizeBytes + c.GPU.L1D.SizeBytes + c.GPU.ScratchpadBytes +
+		c.GPU.L2.SizeBytes/c.GPU.NumSMs
+}

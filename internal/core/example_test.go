@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+)
+
+// The dynamic controller climbs toward whatever ratio maximizes the
+// offload-region instruction throughput it is fed each epoch.
+func ExampleDynamic() {
+	cfg := config.Default().NDP
+	d := core.NewDynamic(cfg, 1)
+	peakAt := 0.6
+	for epoch := 0; epoch < 40; epoch++ {
+		r := d.Ratio()
+		throughput := int64(10000 * (1 - (r-peakAt)*(r-peakAt)))
+		d.EpochTick(throughput)
+	}
+	fmt.Printf("converged near %.1f: %v\n", peakAt, d.Ratio() > 0.4 && d.Ratio() < 0.8)
+	// Output: converged near 0.6: true
+}
+
+// The buffer manager makes reservation all-or-nothing, which is the §4.3
+// deadlock-freedom argument: a packet is never sent toward a full buffer.
+func ExampleBufferManager() {
+	m := core.NewBufferManager(config.Default())
+	fmt.Println(m.Reserve(0, 4, 2)) // 1 cmd + 4 read-data + 2 write-addr credits
+	m.Return(0, core.CmdBuffer, 1)
+	m.Return(0, core.ReadDataBuffer, 4)
+	m.Return(0, core.WriteAddrBuffer, 2)
+	fmt.Println(m.AllReturned())
+	// Output:
+	// true
+	// true
+}
+
+// SelectTarget is the paper's first-instruction majority policy (§4.1.1).
+func ExampleSelectTarget() {
+	homes := []int{3, 3, 5, 3}
+	fmt.Println(core.SelectTarget(homes, 8))
+	// Output: 3
+}

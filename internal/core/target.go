@@ -1,0 +1,44 @@
+package core
+
+// SelectTarget implements the paper's target-NSU policy (§4.1.1): the HMC
+// accessed by the first load or store instruction becomes the target; if
+// that instruction touches several HMCs, the one with the most accesses
+// wins. hmcs lists the home HMC of each coalesced line of the first memory
+// instruction. Ties break toward the lower HMC id for determinism.
+func SelectTarget(hmcs []int, numHMCs int) int {
+	if len(hmcs) == 0 {
+		return 0
+	}
+	counts := make([]int, numHMCs)
+	for _, h := range hmcs {
+		counts[h]++
+	}
+	best := hmcs[0]
+	for h, c := range counts {
+		if c > counts[best] {
+			best = h
+		}
+	}
+	return best
+}
+
+// SelectOptimal is the oracle policy of Figure 5: choose the HMC with the
+// most accesses across ALL memory accesses of the block. The paper rejects
+// it because it would require buffering every generated address; it exists
+// here as the ablation baseline.
+func SelectOptimal(hmcs []int, numHMCs int) int {
+	return SelectTarget(hmcs, numHMCs) // same majority rule, different input scope
+}
+
+// RemoteTraffic counts how many of the block's accesses are not local to the
+// chosen target — each such access crosses the memory network once. This is
+// the Figure 5 metric.
+func RemoteTraffic(hmcs []int, target int) int {
+	n := 0
+	for _, h := range hmcs {
+		if h != target {
+			n++
+		}
+	}
+	return n
+}

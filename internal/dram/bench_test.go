@@ -1,0 +1,20 @@
+package dram
+
+import (
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/timing"
+)
+
+func BenchmarkVaultStreaming(b *testing.B) {
+	cfg := config.Default().HMC
+	v := NewVault(cfg)
+	now := timing.PS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Enqueue(&Request{Bank: i % 16, Row: int64(i / 16)})
+		now += 1500
+		v.Tick(now)
+	}
+}

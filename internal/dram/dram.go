@@ -1,0 +1,200 @@
+// Package dram models one HMC vault: a bounded request queue served by an
+// FR-FCFS scheduler over banks with open-row state and DDR3-1333H-like
+// timing (Table 2: tCK=1.50 ns, tRP=9, tCCD=4, tRCD=9, tCL=9, tWR=12,
+// tRAS=24). Each access moves one 128-byte line; with tCCD=4 the per-vault
+// data bus sustains 128 B / 6 ns ≈ 21 GB/s, i.e. ≈340 GB/s per 16-vault
+// stack, matching the HMC's ~320 GB/s peak DRAM bandwidth.
+package dram
+
+import (
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/timing"
+)
+
+// Request is one line-sized DRAM access.
+type Request struct {
+	Line    uint64 // line-aligned address
+	Bank    int
+	Row     int64
+	IsWrite bool
+	Arrival timing.PS
+	// triggeredAct marks that this request caused the bank's current row
+	// activation, so its own CAS is not counted as a row-buffer hit.
+	triggeredAct bool
+	// Done is invoked when the access completes (data available for reads,
+	// write committed for writes).
+	Done func(now timing.PS)
+}
+
+type bankState struct {
+	rowOpen   bool
+	openRow   int64
+	readyAt   timing.PS // earliest time a new column/act/pre command may issue
+	activated timing.PS // time of last activation, for tRAS
+}
+
+type completion struct {
+	at  timing.PS
+	req *Request
+}
+
+// VaultStats counts per-vault DRAM events.
+type VaultStats struct {
+	Reads            int64
+	Writes           int64
+	Activations      int64
+	RowHits          int64
+	Precharges       int64
+	QueueFullRejects int64
+	Refreshes        int64
+}
+
+// Vault is one vault controller.
+type Vault struct {
+	cfg      config.HMCConfig
+	banks    []bankState
+	queue    []*Request
+	done     []completion
+	busUntil timing.PS
+
+	nextRefresh timing.PS // next tREFI edge
+	refreshing  timing.PS // all banks blocked until this time
+
+	Stats VaultStats
+}
+
+// NewVault builds a vault controller.
+func NewVault(cfg config.HMCConfig) *Vault {
+	return &Vault{
+		cfg:         cfg,
+		banks:       make([]bankState, cfg.BanksPerVault),
+		nextRefresh: timing.PS(cfg.TREFIps),
+	}
+}
+
+func (v *Vault) tck(n int) timing.PS { return timing.PS(n) * timing.PS(v.cfg.TCKps) }
+
+// Enqueue adds a request if the queue has room, returning false when full.
+func (v *Vault) Enqueue(r *Request) bool {
+	if len(v.queue) >= v.cfg.VaultQueue {
+		v.Stats.QueueFullRejects++
+		return false
+	}
+	v.queue = append(v.queue, r)
+	return true
+}
+
+// QueueLen returns the number of waiting requests.
+func (v *Vault) QueueLen() int { return len(v.queue) }
+
+// Pending returns the number of waiting plus in-flight requests.
+func (v *Vault) Pending() int { return len(v.queue) + len(v.done) }
+
+// Tick advances the vault by one DRAM clock: retire finished accesses, then
+// schedule at most one command using FR-FCFS (first ready — i.e. open-row
+// hit — first-come-first-served otherwise).
+func (v *Vault) Tick(now timing.PS) {
+	// Retire completions.
+	kept := v.done[:0]
+	for _, c := range v.done {
+		if c.at <= now {
+			if c.req.IsWrite {
+				v.Stats.Writes++
+			} else {
+				v.Stats.Reads++
+			}
+			if c.req.Done != nil {
+				c.req.Done(now)
+			}
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	v.done = kept
+
+	// All-bank refresh every tREFI: close the rows and block the vault for
+	// tRFC (disabled when tREFI is zero).
+	if v.cfg.TREFIps > 0 && now >= v.nextRefresh {
+		v.nextRefresh += timing.PS(v.cfg.TREFIps)
+		v.refreshing = now + timing.PS(v.cfg.TRFCps)
+		for i := range v.banks {
+			v.banks[i].rowOpen = false
+			if v.banks[i].readyAt < v.refreshing {
+				v.banks[i].readyAt = v.refreshing
+			}
+		}
+		v.Stats.Refreshes++
+	}
+	if now < v.refreshing {
+		return
+	}
+
+	if len(v.queue) == 0 {
+		return
+	}
+
+	// FR-FCFS pass 1: oldest request hitting an open row on a ready bank.
+	pick := -1
+	for i, r := range v.queue {
+		b := &v.banks[r.Bank]
+		if b.rowOpen && b.openRow == r.Row && b.readyAt <= now && v.busUntil <= now {
+			pick = i
+			break
+		}
+	}
+	if pick >= 0 {
+		r := v.queue[pick]
+		v.issueColumn(r, now, !r.triggeredAct)
+		v.queue = append(v.queue[:pick], v.queue[pick+1:]...)
+		return
+	}
+
+	// Pass 2: oldest request whose bank can accept a row command.
+	for i, r := range v.queue {
+		b := &v.banks[r.Bank]
+		if b.readyAt > now {
+			continue
+		}
+		if b.rowOpen && b.openRow != r.Row {
+			// Precharge, honouring tRAS since activation.
+			start := now
+			if b.activated+v.tck(v.cfg.TRAS) > start {
+				start = b.activated + v.tck(v.cfg.TRAS)
+			}
+			b.rowOpen = false
+			b.readyAt = start + v.tck(v.cfg.TRP)
+			v.Stats.Precharges++
+			return // one command per tick
+		}
+		if !b.rowOpen {
+			b.rowOpen = true
+			b.openRow = r.Row
+			b.activated = now
+			b.readyAt = now + v.tck(v.cfg.TRCD)
+			r.triggeredAct = true
+			v.Stats.Activations++
+			return
+		}
+		// Open-row hit but bus busy: this request waits for the bus; let a
+		// younger request on another bank activate or precharge meanwhile.
+		_ = i
+	}
+}
+
+// issueColumn performs the CAS for a request whose row is open.
+func (v *Vault) issueColumn(r *Request, now timing.PS, rowHit bool) {
+	b := &v.banks[r.Bank]
+	if rowHit {
+		v.Stats.RowHits++
+	}
+	lat := v.tck(v.cfg.TCL)
+	if r.IsWrite {
+		lat = v.tck(v.cfg.TWR)
+	}
+	v.busUntil = now + v.tck(v.cfg.TCCD)
+	b.readyAt = now + v.tck(v.cfg.TCCD)
+	v.done = append(v.done, completion{at: now + lat + v.tck(v.cfg.TCCD), req: r})
+}
+
+// Idle reports whether the vault has no queued or in-flight work.
+func (v *Vault) Idle() bool { return len(v.queue) == 0 && len(v.done) == 0 }

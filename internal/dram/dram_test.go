@@ -1,0 +1,233 @@
+package dram
+
+import (
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/timing"
+)
+
+func run(v *Vault, upto timing.PS) {
+	for now := timing.PS(0); now <= upto; now += 1500 {
+		v.Tick(now)
+	}
+}
+
+func TestSingleReadCompletes(t *testing.T) {
+	cfg := config.Default().HMC
+	v := NewVault(cfg)
+	var doneAt timing.PS = -1
+	ok := v.Enqueue(&Request{Line: 0, Bank: 0, Row: 5, Done: func(now timing.PS) { doneAt = now }})
+	if !ok {
+		t.Fatal("enqueue rejected")
+	}
+	run(v, 200_000)
+	if doneAt < 0 {
+		t.Fatal("read never completed")
+	}
+	// Activation (tRCD=9) + CAS (tCL=9) + transfer: at least 18 tCK = 27 ns.
+	if doneAt < 27_000 {
+		t.Fatalf("read completed too fast: %d ps", doneAt)
+	}
+	if v.Stats.Reads != 1 || v.Stats.Activations != 1 || v.Stats.RowHits != 0 {
+		t.Fatalf("stats = %+v", v.Stats)
+	}
+	if !v.Idle() {
+		t.Fatal("vault not idle after completion")
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	cfg := config.Default().HMC
+
+	timeFor := func(rows []int64) timing.PS {
+		v := NewVault(cfg)
+		var last timing.PS
+		n := 0
+		for _, r := range rows {
+			v.Enqueue(&Request{Bank: 0, Row: r, Done: func(now timing.PS) {
+				n++
+				if now > last {
+					last = now
+				}
+			}})
+		}
+		run(v, 10_000_000)
+		if n != len(rows) {
+			t.Fatalf("only %d/%d completed", n, len(rows))
+		}
+		return last
+	}
+
+	sameRow := timeFor([]int64{1, 1, 1, 1})
+	conflict := timeFor([]int64{1, 2, 3, 4})
+	if sameRow >= conflict {
+		t.Fatalf("row hits (%d ps) not faster than conflicts (%d ps)", sameRow, conflict)
+	}
+}
+
+func TestRowHitCounted(t *testing.T) {
+	cfg := config.Default().HMC
+	v := NewVault(cfg)
+	for i := 0; i < 4; i++ {
+		v.Enqueue(&Request{Bank: 0, Row: 7})
+	}
+	run(v, 1_000_000)
+	if v.Stats.Activations != 1 {
+		t.Fatalf("activations = %d, want 1", v.Stats.Activations)
+	}
+	if v.Stats.RowHits != 3 {
+		t.Fatalf("row hits = %d, want 3 (opener is not a hit)", v.Stats.RowHits)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := config.Default().HMC
+
+	timeFor := func(banks []int) timing.PS {
+		v := NewVault(cfg)
+		var last timing.PS
+		for _, b := range banks {
+			v.Enqueue(&Request{Bank: b, Row: 1, Done: func(now timing.PS) {
+				if now > last {
+					last = now
+				}
+			}})
+		}
+		run(v, 10_000_000)
+		return last
+	}
+
+	oneBankDiffRows := func() timing.PS {
+		v := NewVault(cfg)
+		var last timing.PS
+		for i := 0; i < 4; i++ {
+			v.Enqueue(&Request{Bank: 0, Row: int64(i), Done: func(now timing.PS) {
+				if now > last {
+					last = now
+				}
+			}})
+		}
+		run(v, 10_000_000)
+		return last
+	}()
+
+	spread := timeFor([]int{0, 1, 2, 3})
+	if spread >= oneBankDiffRows {
+		t.Fatalf("bank-parallel (%d) not faster than serialized conflicts (%d)", spread, oneBankDiffRows)
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	cfg := config.Default().HMC
+	v := NewVault(cfg)
+	for i := 0; i < cfg.VaultQueue; i++ {
+		if !v.Enqueue(&Request{Bank: i % 16, Row: int64(i)}) {
+			t.Fatalf("enqueue %d rejected below bound", i)
+		}
+	}
+	if v.Enqueue(&Request{Bank: 0, Row: 0}) {
+		t.Fatal("enqueue beyond queue bound accepted")
+	}
+	if v.Stats.QueueFullRejects != 1 {
+		t.Fatalf("rejects = %d", v.Stats.QueueFullRejects)
+	}
+}
+
+func TestWritesCounted(t *testing.T) {
+	cfg := config.Default().HMC
+	v := NewVault(cfg)
+	v.Enqueue(&Request{Bank: 0, Row: 1, IsWrite: true})
+	v.Enqueue(&Request{Bank: 0, Row: 1})
+	run(v, 1_000_000)
+	if v.Stats.Writes != 1 || v.Stats.Reads != 1 {
+		t.Fatalf("stats = %+v", v.Stats)
+	}
+}
+
+func TestFRFCFSPrefersOpenRow(t *testing.T) {
+	cfg := config.Default().HMC
+	v := NewVault(cfg)
+	var order []int64
+	mk := func(row int64) *Request {
+		return &Request{Bank: 0, Row: row, Done: func(timing.PS) { order = append(order, row) }}
+	}
+	// Open row 1 with the first request; then queue a conflict (row 2)
+	// ahead of another row-1 request. FR-FCFS should finish both row-1
+	// requests before row 2.
+	v.Enqueue(mk(1))
+	v.Enqueue(mk(2))
+	v.Enqueue(mk(1))
+	run(v, 10_000_000)
+	if len(order) != 3 {
+		t.Fatalf("completed %d", len(order))
+	}
+	if !(order[0] == 1 && order[1] == 1 && order[2] == 2) {
+		t.Fatalf("completion order = %v, want [1 1 2]", order)
+	}
+}
+
+func TestThroughputNearPeak(t *testing.T) {
+	// Stream 256 row-hit reads on one bank: the bus should sustain one
+	// 128B access per tCCD (4 tCK = 6 ns).
+	cfg := config.Default().HMC
+	v := NewVault(cfg)
+	n := 0
+	queued := 0
+	var last timing.PS
+	for now := timing.PS(0); now <= 20_000_000 && n < 256; now += 1500 {
+		for queued < 256 && v.Enqueue(&Request{Bank: 0, Row: 1,
+			Done: func(at timing.PS) { n++; last = at }}) {
+			queued++
+		}
+		v.Tick(now)
+	}
+	if n != 256 {
+		t.Fatalf("completed %d/256", n)
+	}
+	gbps := 256.0 * 128 / float64(last) * 1000 // bytes/ps -> GB/s
+	if gbps < 15 || gbps > 25 {
+		t.Fatalf("sustained bandwidth %.1f GB/s, want ~21", gbps)
+	}
+}
+
+func TestRefreshBlocksVault(t *testing.T) {
+	cfg := config.Default().HMC
+	cfg.TREFIps = 100_000 // refresh every 100 ns for the test
+	cfg.TRFCps = 50_000
+	v := NewVault(cfg)
+	n := 0
+	queued := 0
+	var last timing.PS
+	for now := timing.PS(0); now <= 5_000_000 && n < 64; now += 1500 {
+		for queued < 64 && v.Enqueue(&Request{Bank: 0, Row: 1,
+			Done: func(at timing.PS) { n++; last = at }}) {
+			queued++
+		}
+		v.Tick(now)
+	}
+	if n != 64 {
+		t.Fatalf("completed %d/64 under refresh", n)
+	}
+	if v.Stats.Refreshes == 0 {
+		t.Fatal("no refreshes performed")
+	}
+	// Refresh must cost time versus the no-refresh case.
+	cfg.TREFIps = 0
+	v2 := NewVault(cfg)
+	n2, queued2 := 0, 0
+	var last2 timing.PS
+	for now := timing.PS(0); now <= 5_000_000 && n2 < 64; now += 1500 {
+		for queued2 < 64 && v2.Enqueue(&Request{Bank: 0, Row: 1,
+			Done: func(at timing.PS) { n2++; last2 = at }}) {
+			queued2++
+		}
+		v2.Tick(now)
+	}
+	if last <= last2 {
+		t.Fatalf("refresh made the vault faster: %d vs %d", last, last2)
+	}
+	if v2.Stats.Refreshes != 0 {
+		t.Fatal("refresh ran while disabled")
+	}
+}

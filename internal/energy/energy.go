@@ -1,0 +1,105 @@
+// Package energy implements the event-based energy model used for
+// Figure 10. It follows the paper's §5 methodology: GPUWattch-style
+// per-event dynamic energies for the GPU and NSU, the Rambus-derived DRAM
+// model (11.8 nJ per 4 KB row activation, 4 pJ/b row-buffer read), 2 pJ/b
+// off-chip link energy, and on-die wire energy for a 20 mm x 30 mm GPU.
+// Static (leakage + standby) power integrates over the simulated runtime,
+// which is how reduced runtime translates into energy savings.
+package energy
+
+import (
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/stats"
+)
+
+// Params holds the model's per-event energies (picojoules) and static
+// powers (watts).
+type Params struct {
+	// GPU dynamic.
+	GPUInstrPJ float64 // per issued warp instruction (pipeline + RF, 32 lanes)
+	L1AccessPJ float64
+	L2AccessPJ float64
+	WirePJPerB float64 // on-die movement of off-chip-bound data (20x30 mm die)
+
+	// NSU dynamic: simpler core, no MMU/TLB/data cache (§4.5).
+	NSUInstrPJ float64
+
+	// Interconnect.
+	LinkPJPerB     float64 // 2 pJ/bit SerDes [36] -> 16 pJ/B
+	IntraHMCPJPerB float64 // TSV + logic-layer NoC per byte
+
+	// DRAM.
+	ActivatePJ  float64 // 11.8 nJ per 4 KB row activation [43][45]
+	RowRWPJPerB float64 // 4 pJ/b row-buffer read/write -> 32 pJ/B
+
+	// Static power.
+	SMStaticW     float64 // per SM
+	L2StaticW     float64 // whole L2 + crossbar
+	DRAMStaticW   float64 // per HMC (refresh + standby)
+	NSUStaticW    float64 // per NSU, when NDP is enabled
+	MemNetStaticW float64 // per HMC: the extra memory-network links (§7.4)
+}
+
+// DefaultParams returns the calibrated model constants.
+func DefaultParams() Params {
+	return Params{
+		GPUInstrPJ:     240, // ~7.5 pJ/lane-op across 32 lanes
+		L1AccessPJ:     30,
+		L2AccessPJ:     65,
+		WirePJPerB:     4, // ~0.25 pJ/b/mm x ~16 mm average on-die route
+		NSUInstrPJ:     110,
+		LinkPJPerB:     16, // 2 pJ/bit
+		IntraHMCPJPerB: 4,  // ~0.5 pJ/bit through TSVs and the vault NoC
+		ActivatePJ:     11800,
+		RowRWPJPerB:    32, // 4 pJ/bit
+		SMStaticW:      0.55,
+		L2StaticW:      4,
+		DRAMStaticW:    1.0,
+		NSUStaticW:     0.25,
+		MemNetStaticW:  0.3,
+	}
+}
+
+// Compute fills in the Figure 10 component breakdown for a finished run.
+// ndpEnabled selects whether the NSUs and memory network are powered; for
+// the baseline they do not exist (or are power-gated, §5).
+func Compute(st *stats.Stats, cfg config.Config, p Params, ndpEnabled bool) stats.EnergyBreakdown {
+	seconds := float64(st.ElapsedPS) * 1e-12
+	lineB := float64(cfg.LineBytes())
+
+	var e stats.EnergyBreakdown
+
+	// GPU: instructions, caches, on-die movement of link traffic, leakage.
+	gpuDyn := p.GPUInstrPJ*float64(st.IssuedInstrs) +
+		p.L1AccessPJ*float64(st.L1D.Accesses) +
+		p.L2AccessPJ*float64(st.L2.Accesses) +
+		p.WirePJPerB*float64(st.Traffic[stats.GPULink])
+	gpuStatic := (p.SMStaticW*float64(cfg.GPU.NumSMs) + p.L2StaticW) * seconds * 1e12
+	e.GPU = gpuDyn + gpuStatic
+
+	// NSU.
+	if ndpEnabled {
+		e.NSU = p.NSUInstrPJ*float64(st.NSUInstrs) +
+			p.NSUStaticW*float64(cfg.NumHMCs)*seconds*1e12
+	}
+
+	// Intra-HMC movement between vaults and the logic layer.
+	e.IntraHMC = p.IntraHMCPJPerB * float64(st.Traffic[stats.IntraHMC])
+
+	// Off-chip interconnect: GPU links plus (when powered) the memory
+	// network, including its per-link standby power.
+	offDyn := p.LinkPJPerB * float64(st.Traffic[stats.GPULink]+st.Traffic[stats.MemNet])
+	offStatic := 0.0
+	if ndpEnabled {
+		offStatic = p.MemNetStaticW * float64(cfg.NumHMCs) * seconds * 1e12
+	}
+	e.OffChip = offDyn + offStatic
+
+	// DRAM: activations, row-buffer transfers, standby.
+	e.DRAM = p.ActivatePJ*float64(st.DRAMActivations) +
+		p.RowRWPJPerB*lineB*float64(st.DRAMReads+st.DRAMWrites) +
+		p.DRAMStaticW*float64(cfg.NumHMCs)*seconds*1e12
+
+	st.Energy = e
+	return e
+}

@@ -1,0 +1,98 @@
+package energy
+
+import (
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/stats"
+)
+
+func synthetic() *stats.Stats {
+	s := stats.New()
+	s.ElapsedPS = 10_000_000 // 10 us
+	s.IssuedInstrs = 100_000
+	s.NSUInstrs = 10_000
+	s.L1D.Accesses = 50_000
+	s.L2.Accesses = 20_000
+	s.DRAMReads = 5000
+	s.DRAMWrites = 1000
+	s.DRAMActivations = 800
+	s.AddTraffic(stats.GPULink, 2_000_000)
+	s.AddTraffic(stats.MemNet, 500_000)
+	s.AddTraffic(stats.IntraHMC, 1_000_000)
+	return s
+}
+
+func TestComputeComponentsPositive(t *testing.T) {
+	cfg := config.Default()
+	e := Compute(synthetic(), cfg, DefaultParams(), true)
+	if e.GPU <= 0 || e.NSU <= 0 || e.IntraHMC <= 0 || e.OffChip <= 0 || e.DRAM <= 0 {
+		t.Fatalf("non-positive component: %+v", e)
+	}
+	if e.Total() <= e.GPU {
+		t.Fatal("total must exceed any single component")
+	}
+}
+
+func TestBaselineHasNoNSUEnergy(t *testing.T) {
+	cfg := config.Default()
+	st := synthetic()
+	st.NSUInstrs = 0
+	e := Compute(st, cfg, DefaultParams(), false)
+	if e.NSU != 0 {
+		t.Fatalf("baseline NSU energy = %v, want 0 (power-gated, §5)", e.NSU)
+	}
+	// Off-chip for the baseline excludes the memory-network standby power.
+	ndp := Compute(synthetic(), cfg, DefaultParams(), true)
+	if ndp.OffChip <= e.OffChip {
+		t.Fatal("NDP off-chip energy should include memory-network standby power")
+	}
+}
+
+func TestEnergyScalesWithTraffic(t *testing.T) {
+	cfg := config.Default()
+	a := synthetic()
+	b := synthetic()
+	b.Traffic[stats.GPULink] *= 2
+	ea := Compute(a, cfg, DefaultParams(), false)
+	eb := Compute(b, cfg, DefaultParams(), false)
+	if eb.OffChip <= ea.OffChip || eb.GPU <= ea.GPU {
+		t.Fatal("doubling link traffic must increase off-chip and wire energy")
+	}
+}
+
+func TestEnergyScalesWithRuntime(t *testing.T) {
+	cfg := config.Default()
+	a := synthetic()
+	b := synthetic()
+	b.ElapsedPS *= 2
+	ea := Compute(a, cfg, DefaultParams(), true)
+	eb := Compute(b, cfg, DefaultParams(), true)
+	if eb.Total() <= ea.Total() {
+		t.Fatal("longer runtime must cost more static energy")
+	}
+}
+
+func TestActivationEnergyConstant(t *testing.T) {
+	// The paper's constant: 11.8 nJ per 4 KB row activation.
+	if p := DefaultParams(); p.ActivatePJ != 11800 {
+		t.Fatalf("activation energy = %v pJ, want 11800 (11.8 nJ)", p.ActivatePJ)
+	}
+	// 2 pJ/bit link energy = 16 pJ/B.
+	if p := DefaultParams(); p.LinkPJPerB != 16 {
+		t.Fatalf("link energy = %v pJ/B, want 16", p.LinkPJPerB)
+	}
+	// 4 pJ/bit row read = 32 pJ/B.
+	if p := DefaultParams(); p.RowRWPJPerB != 32 {
+		t.Fatalf("row read energy = %v pJ/B, want 32", p.RowRWPJPerB)
+	}
+}
+
+func TestComputeFillsStats(t *testing.T) {
+	cfg := config.Default()
+	st := synthetic()
+	e := Compute(st, cfg, DefaultParams(), true)
+	if st.Energy != e {
+		t.Fatal("Compute must record the breakdown in the stats bundle")
+	}
+}

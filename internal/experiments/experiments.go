@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5-§7). Each Figure*/Table* function runs the required
+// simulations (in parallel across workloads) and prints the same rows or
+// series the paper reports. EXPERIMENTS.md records the measured outputs
+// next to the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/energy"
+	"ndpgpu/internal/sim"
+	"ndpgpu/internal/stats"
+	"ndpgpu/internal/timing"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+// Workloads returns the evaluation suite in Table 1 order.
+func Workloads() []string { return workloads.Abbrs() }
+
+// Run is one completed simulation.
+type Run struct {
+	Workload string
+	Mode     string
+	Cfg      config.Config
+	Stats    *stats.Stats
+	TimePS   timing.PS
+	Energy   stats.EnergyBreakdown
+	Err      error
+}
+
+// Speedup returns base/this runtime.
+func (r *Run) Speedup(base *Run) float64 {
+	if r.TimePS == 0 {
+		return 0
+	}
+	return float64(base.TimePS) / float64(r.TimePS)
+}
+
+// RunOne builds the workload, runs it under the mode, verifies the output,
+// and computes energy.
+func RunOne(cfg config.Config, abbr string, mode sim.Mode, scale int) *Run {
+	run := &Run{Workload: abbr, Mode: mode.Name, Cfg: cfg}
+	mem := vm.New(cfg)
+	w, err := workloads.Build(abbr, mem, scale)
+	if err != nil {
+		run.Err = err
+		return run
+	}
+	m, err := sim.Launch(cfg, w.Kernel, mem, mode)
+	if err != nil {
+		run.Err = err
+		return run
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		run.Err = fmt.Errorf("%s/%s: %w", abbr, mode.Name, err)
+		return run
+	}
+	if err := w.Verify(); err != nil {
+		run.Err = fmt.Errorf("%s/%s: functional check: %w", abbr, mode.Name, err)
+		return run
+	}
+	run.Stats = res.Stats
+	run.TimePS = res.TimePS
+	run.Energy = energy.Compute(res.Stats, cfg, energy.DefaultParams(), mode.NDP)
+	return run
+}
+
+// job identifies one simulation to run.
+type job struct {
+	workload string
+	mode     sim.Mode
+	cfg      config.Config
+}
+
+// runAll executes the jobs concurrently (each machine is independent) and
+// returns results keyed by workload|mode.
+func runAll(jobs []job, scale int) map[string]*Run {
+	type keyed struct {
+		key string
+		run *Run
+	}
+	out := make(chan keyed, len(jobs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out <- keyed{key: j.workload + "|" + j.mode.Name, run: RunOne(j.cfg, j.workload, j.mode, scale)}
+		}(j)
+	}
+	wg.Wait()
+	close(out)
+	res := make(map[string]*Run, len(jobs))
+	for k := range out {
+		res[k.key] = k.run
+	}
+	return res
+}
+
+func get(m map[string]*Run, wl, mode string) *Run { return m[wl+"|"+mode] }
+
+// checkErrs returns the first error among runs.
+func checkErrs(m map[string]*Run) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if m[k].Err != nil {
+			return m[k].Err
+		}
+	}
+	return nil
+}
+
+// geomean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// moreCoreCfg is the Baseline_MoreCore configuration (§6).
+func moreCoreCfg(cfg config.Config) config.Config {
+	cfg.GPU.NumSMs += cfg.NumHMCs
+	return cfg
+}
+
+// header prints a table header row.
+func header(w io.Writer, title string, cols []string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	fmt.Fprintf(w, "%-8s", "")
+	for _, c := range cols {
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/sim"
+)
+
+func TestFigure5Shape(t *testing.T) {
+	res := Figure5(io.Discard)
+	if len(res.Points) < 8 {
+		t.Fatalf("too few points: %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// Paper: the first-HMC policy costs at most ~15% more traffic than
+		// the oracle, and both normalize below 1 (some accesses are local).
+		if p.Ratio > 1.16 {
+			t.Fatalf("n=%d: first/optimal = %.3f, paper bound ~1.15", p.N, p.Ratio)
+		}
+		if p.First > 1 || p.Optimal > p.First {
+			t.Fatalf("n=%d: inconsistent traffic first=%.3f opt=%.3f", p.N, p.First, p.Optimal)
+		}
+	}
+	// The gap peaks at small access counts (>1) and diminishes as accesses
+	// grow (the converging curves of Figure 5; at n=1 the policies agree).
+	peak := 0.0
+	for _, p := range res.Points {
+		if p.Ratio > peak {
+			peak = p.Ratio
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	if peak <= 1.01 {
+		t.Fatalf("no policy gap observed (peak %.3f)", peak)
+	}
+	if last.Ratio >= peak {
+		t.Fatalf("gap did not converge: peak %.3f, final %.3f", peak, last.Ratio)
+	}
+	// With many random accesses both approach 7/8 (the all-remote fraction).
+	if last.First < 0.8 || last.First > 0.92 {
+		t.Fatalf("asymptote = %.3f, want ~0.875", last.First)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, config.Default(), 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, wl := range Workloads() {
+		if !strings.Contains(out, wl) {
+			t.Fatalf("Table 1 missing %s:\n%s", wl, out)
+		}
+	}
+	if !strings.Contains(out, "avg registers per block") {
+		t.Fatal("Table 1 missing register-transfer summary")
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf, config.Default())
+	for _, want := range []string{"64 SMs", "16 vaults", "350 MHz", "hypercube"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table 2 missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	Overhead(&buf, config.Default())
+	if !strings.Contains(buf.String(), "2.84 KB") {
+		t.Fatalf("§7.5 storage should be 2.84 KB:\n%s", buf.String())
+	}
+}
+
+func TestRunOneSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	cfg := config.Default()
+	cfg.GPU.NumSMs = 4
+	r := RunOne(cfg, "VADD", sim.DynCache, 1)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.TimePS <= 0 || r.Energy.Total() <= 0 {
+		t.Fatalf("bad run result: %+v", r)
+	}
+	base := RunOne(cfg, "VADD", sim.Baseline, 1)
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	if s := base.Speedup(base); s != 1 {
+		t.Fatalf("self speedup = %v", s)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+}

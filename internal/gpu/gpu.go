@@ -1,0 +1,306 @@
+// Package gpu models the host GPU: SMs with warp schedulers, scoreboards,
+// coalescing load/store units and L1 caches; sliced L2; the NDP packet
+// buffers and offload logic of the partitioned execution mechanism; and the
+// no-issue-cycle classification reported in Figure 8 of the paper.
+package gpu
+
+import (
+	"ndpgpu/internal/analyzer"
+	"ndpgpu/internal/cache"
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/noc"
+	"ndpgpu/internal/stats"
+	"ndpgpu/internal/timing"
+	"ndpgpu/internal/vm"
+)
+
+// accessRecorder is implemented by core.CacheAware; when the decider carries
+// one, the GPU feeds it runtime cache-locality profiles (§7.3).
+type accessRecorder interface {
+	RecordLine(blockID int, hit bool, touchedWords int)
+	RecordInstance(blockID int)
+	RecordTransfer(blockID int, bytes int)
+}
+
+// GPU is the host processor.
+type GPU struct {
+	cfg  config.Config
+	prog *analyzer.Program
+	mem  *vm.System
+	fab  *noc.Fabric
+	st   *stats.Stats
+	dec  core.Decider
+	rec  accessRecorder
+
+	bufmgr *core.BufferManager
+	sms    []*SM
+	slices []*l2slice
+	blocks []*coreBlock
+
+	// nsuDir mirrors each NSU's optional read-only cache (§7.1 extension):
+	// the GPU fills an entry when it ships a cached line and sends a small
+	// reference instead of the data while the entry stays live. nil when
+	// the extension is disabled.
+	nsuDir []*cache.Cache
+
+	smPeriod timing.PS
+	nextCTA  int
+
+	cycles       int64
+	regionInstrs int64 // offload-region instructions since the last epoch
+
+	// wtaInflight counts in-flight WTA packets per destination HMC, the
+	// §4.1.1 mechanism that lets dynamic memory management stall writes to
+	// a page being swapped while other stacks proceed.
+	wtaInflight []int64
+
+	smemArea map[[2]int]map[uint64]uint32
+}
+
+// New wires up a GPU over the given fabric and memory.
+func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, fab *noc.Fabric,
+	st *stats.Stats, dec core.Decider) *GPU {
+	g := &GPU{
+		cfg:         cfg,
+		prog:        prog,
+		mem:         mem,
+		fab:         fab,
+		st:          st,
+		dec:         dec,
+		bufmgr:      core.NewBufferManager(cfg),
+		smPeriod:    timing.PeriodFromMHz(cfg.GPU.SMClockMHz),
+		wtaInflight: make([]int64, cfg.NumHMCs),
+		smemArea:    make(map[[2]int]map[uint64]uint32),
+	}
+	if r, ok := dec.(accessRecorder); ok {
+		g.rec = r
+	}
+	for _, b := range prog.Blocks {
+		g.blocks = append(g.blocks, &coreBlock{
+			id:          b.ID,
+			begPC:       b.BegPC,
+			endPC:       b.EndPC,
+			numLD:       b.NumLD,
+			numST:       b.NumST,
+			regsIn:      b.RegsIn,
+			regsOut:     b.RegsOut,
+			instrs:      b.EndPC - b.BegPC - 1,
+			indirect:    b.Indirect,
+			nsuCodeSize: len(b.NSUCode) * isa.InstrBytes,
+		})
+	}
+	for i := 0; i < cfg.GPU.NumSMs; i++ {
+		g.sms = append(g.sms, newSM(g, i))
+	}
+	if cfg.NSU.ReadOnlyCacheBytes > 0 {
+		geom := config.CacheGeom{
+			SizeBytes: cfg.NSU.ReadOnlyCacheBytes,
+			Ways:      8,
+			LineBytes: cfg.LineBytes(),
+			MSHRs:     1,
+		}
+		for i := 0; i < cfg.NumHMCs; i++ {
+			g.nsuDir = append(g.nsuDir, cache.New(geom))
+		}
+	}
+	sliceGeom := cfg.GPU.L2
+	sliceGeom.SizeBytes /= cfg.NumHMCs
+	lat := timing.PS(cfg.GPU.L2Latency) * timing.PeriodFromMHz(cfg.GPU.XbarClockMHz)
+	for h := 0; h < cfg.NumHMCs; h++ {
+		g.slices = append(g.slices, newL2Slice(g, h, sliceGeom, lat))
+	}
+	return g
+}
+
+// BufferManager exposes the credit manager (the NSUs return credits to it).
+func (g *GPU) BufferManager() *core.BufferManager { return g.bufmgr }
+
+// Blocks returns the static block descriptors as decider BlockInfo.
+func BlockInfos(prog *analyzer.Program) []core.BlockInfo {
+	infos := make([]core.BlockInfo, len(prog.Blocks))
+	for i, b := range prog.Blocks {
+		infos[i] = core.BlockInfo{
+			NumLD:    b.NumLD,
+			NumST:    b.NumST,
+			RegsIn:   len(b.RegsIn),
+			RegsOut:  len(b.RegsOut),
+			Indirect: b.Indirect,
+		}
+	}
+	return infos
+}
+
+// sliceFor maps a line address to its L2 slice (one per memory partition).
+func (g *GPU) sliceFor(line uint64) *l2slice { return g.slices[g.mem.HMCOf(line)] }
+
+// smemFor returns the functional scratchpad storage of a resident CTA.
+func (g *GPU) smemFor(smID, ctaID int) map[uint64]uint32 {
+	key := [2]int{smID, ctaID}
+	m, ok := g.smemArea[key]
+	if !ok {
+		m = make(map[uint64]uint32)
+		g.smemArea[key] = m
+	}
+	return m
+}
+
+func (g *GPU) freeSmem(smID, ctaID int) { delete(g.smemArea, [2]int{smID, ctaID}) }
+
+// Tick advances all SMs by one core clock and runs the epoch controller.
+func (g *GPU) Tick(now timing.PS) {
+	g.cycles++
+	for _, sm := range g.sms {
+		sm.tick(now)
+	}
+	if g.cycles%g.cfg.NDP.EpochCycles == 0 {
+		g.dec.EpochTick(g.regionInstrs)
+		g.regionInstrs = 0
+		g.st.RatioTrace = append(g.st.RatioTrace, g.dec.Ratio())
+	}
+}
+
+// XbarTick routes arrived messages and serves the L2 slices (crossbar/L2
+// clock domain).
+func (g *GPU) XbarTick(now timing.PS) {
+	inbox := g.fab.GPUInbox()
+	for {
+		msg, ok := inbox.Pop(now)
+		if !ok {
+			break
+		}
+		switch m := msg.(type) {
+		case *core.ReadResp:
+			g.sliceFor(m.LineAddr).fill(m.LineAddr, now)
+		case *core.AckPacket:
+			g.st.AckPackets++
+			g.sms[m.ID.SM].deliverAck(m, now)
+		case *core.InvalPacket:
+			g.st.InvalPackets++
+			g.st.InvalBytes += int64(m.Size())
+			g.sliceFor(m.LineAddr).invalidate(m.LineAddr)
+			for _, sm := range g.sms {
+				sm.l1.Invalidate(m.LineAddr)
+			}
+			g.invalidateNSUDirs(m.LineAddr)
+			g.wtaInflight[m.HomeHMC]--
+		default:
+			panic("gpu: unexpected message in GPU inbox")
+		}
+	}
+	for _, s := range g.slices {
+		s.tick(now)
+	}
+}
+
+// WTAInflight returns the in-flight WTA count for one HMC (the dynamic
+// memory management hook of §4.1.1).
+func (g *GPU) WTAInflight(hmc int) int64 { return g.wtaInflight[hmc] }
+
+// PageFillsOutstanding reports whether any L2 slice still waits on a line
+// fill within the page — migrating the page would strand the response at
+// the old home's slice.
+func (g *GPU) PageFillsOutstanding(pageBase uint64, pageBytes int) bool {
+	for _, s := range g.slices {
+		for line := range s.waiters {
+			if line >= pageBase && line < pageBase+uint64(pageBytes) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Done reports whether the kernel has fully retired on the GPU side.
+func (g *GPU) Done() bool {
+	if g.nextCTA < g.prog.Kernel.GridDim {
+		return false
+	}
+	for _, sm := range g.sms {
+		if sm.busy() {
+			return false
+		}
+	}
+	for _, s := range g.slices {
+		if !s.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycles returns elapsed SM cycles.
+func (g *GPU) Cycles() int64 { return g.cycles }
+
+// CollectCacheStats aggregates per-SM L1 and per-slice L2 statistics into
+// the run's stats bundle.
+func (g *GPU) CollectCacheStats() {
+	var l1 stats.CacheStats
+	for _, sm := range g.sms {
+		c := sm.l1.Stats
+		l1.Accesses += c.Accesses
+		l1.Hits += c.Hits
+		l1.MSHRStalls += c.MSHRStalls
+		l1.Evictions += c.Evictions
+		l1.Fills += c.Fills
+		l1.Invalidations += c.Invalidations
+	}
+	g.st.L1D = l1
+	var l1i stats.CacheStats
+	for _, sm := range g.sms {
+		c := sm.l1i.Stats
+		l1i.Accesses += c.Accesses
+		l1i.Hits += c.Hits
+		l1i.Fills += c.Fills
+	}
+	g.st.L1I = l1i
+	var tlb stats.CacheStats
+	for _, sm := range g.sms {
+		c := sm.tlb.Stats
+		tlb.Accesses += c.Accesses
+		tlb.Hits += c.Hits
+		tlb.Fills += c.Fills
+	}
+	g.st.TLB = tlb
+	var l2 stats.CacheStats
+	for _, s := range g.slices {
+		c := s.tags.Stats
+		l2.Accesses += c.Accesses
+		l2.Hits += c.Hits
+		l2.MSHRStalls += c.MSHRStalls
+		l2.Evictions += c.Evictions
+		l2.Fills += c.Fills
+		l2.Invalidations += c.Invalidations
+	}
+	g.st.L2 = l2
+}
+
+// shipCachedLine either sends the full cached-line data to the target NSU
+// or, with the §7.1 read-only cache extension, a small reference when the
+// NSU already holds the line. Returns the packet and its size.
+func (g *GPU) shipCachedLine(rdf *core.RDFPacket) (msg any, size int) {
+	if g.nsuDir != nil {
+		dir := g.nsuDir[rdf.Target]
+		if dir.Lookup(rdf.Access.LineAddr) {
+			ref := &core.RDFRef{ID: rdf.ID, Seq: rdf.Seq, Access: rdf.Access, TotalPkts: rdf.TotalPkts}
+			return ref, ref.Size()
+		}
+		dir.Fill(rdf.Access.LineAddr)
+	}
+	resp := g.makeRDFResp(rdf)
+	resp.FromCache = true
+	return resp, resp.Size()
+}
+
+// invalidateNSUDirs drops a written line from every NSU directory so a
+// stale read-only copy is never referenced again.
+func (g *GPU) invalidateNSUDirs(line uint64) {
+	for _, d := range g.nsuDir {
+		d.Invalidate(line)
+	}
+}
+
+// TraceGTID, when >= 0, dumps per-instruction execution of the warp whose
+// lane-0 global thread id matches. Debug aid; zero overhead when unset.
+var TraceGTID int64 = -1

@@ -1,0 +1,999 @@
+package gpu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ndpgpu/internal/cache"
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/stats"
+	"ndpgpu/internal/timing"
+)
+
+const inf = timing.PS(1) << 62
+
+// ctaState tracks one resident thread block.
+type ctaState struct {
+	id      int
+	live    int // non-exited warps
+	arrived int // warps waiting at the barrier
+	warps   []*warp
+}
+
+// offCtx is the SM-side state of one in-flight offloaded block instance.
+type offCtx struct {
+	block       *coreBlock
+	id          core.OffloadID
+	target      int
+	targetKnown bool
+	seqLD       int
+	seqST       int
+	began       timing.PS // OFLDBEG issue time, for ack-latency accounting
+	cmdBytes    int       // command-packet register payload, for transfer profiling
+	// ack holds an acknowledgment that arrived before the warp reached
+	// OFLD.END (the NSU can finish as soon as the last RDF response lands,
+	// while the GPU is still walking the block). It is applied when the
+	// warp executes OFLD.END.
+	ack *core.AckPacket
+}
+
+// coreBlock caches the analyzer block plus derived info the SM needs often.
+type coreBlock struct {
+	id          int
+	begPC       int
+	endPC       int
+	numLD       int
+	numST       int
+	regsIn      []isa.Reg
+	regsOut     []isa.Reg
+	instrs      int // region instruction count (Table 1 metric + epoch IPC)
+	indirect    bool
+	nsuCodeSize int // bytes, for NSU I-cache accounting
+}
+
+// microOp is one coalesced line access of an in-flight memory instruction.
+type microOp struct {
+	access  core.LineAccess
+	isStore bool
+	dst     isa.Reg                // load destination
+	offload bool                   // partitioned-execution semantics (RDF/WTA)
+	seq     int                    // memory-instruction sequence number within the block
+	total   int                    // packets generated for this instruction
+	readyAt timing.PS              // earliest service time (TLB page-walk penalty)
+	data    [core.WarpWidth]uint32 // store data (baseline mode)
+}
+
+// warp is one hardware warp context.
+type warp struct {
+	slot int
+	cta  *ctaState
+
+	pc        int
+	mask      uint32
+	exited    bool
+	atBarrier bool
+	waitAck   bool
+
+	regs        [isa.NumRegs][core.WarpWidth]uint64
+	regReady    [isa.NumRegs]timing.PS
+	outstanding [isa.NumRegs]int16
+
+	memq []microOp
+
+	off      *offCtx // non-nil while inside an offloaded block instance
+	inRegion bool    // inside a block executing normally (not offloaded)
+	regionID int
+
+	// fetchUntil stalls issue while the instruction line is fetched into
+	// the L1I (Table 2: 4 KB, 4-way). Kernel footprints are small, so this
+	// matters only for cold starts.
+	fetchUntil timing.PS
+}
+
+type loadWaiter struct {
+	w   *warp
+	dst isa.Reg
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id int
+	g  *GPU
+
+	l1      *cache.Cache
+	l1i     *cache.Cache
+	tlb     *cache.Cache
+	waiters map[uint64][]loadWaiter
+
+	warps []*warp // slot -> warp (nil when free)
+	ctas  []*ctaState
+
+	readyQ   []outPkt // ready packet buffer (drained 1/cycle to the fabric)
+	pendingQ []outPkt // pending packet buffer (target not yet known)
+
+	// Per-cycle issue resources.
+	aluUsed, lsuUsed, issued int
+	sawExecBlock             bool
+	sawDepBlock              bool
+	sawCreditBlock           bool
+
+	// Warp scheduling state: the greedy warp for GTO, the rotation point
+	// for round-robin.
+	greedyWarp int
+	rrStart    int
+	order      []int // scratch for schedOrder
+}
+
+// outPkt is a packet waiting in the SM's NDP packet buffers.
+type outPkt struct {
+	target int
+	size   int
+	msg    any
+}
+
+func newSM(g *GPU, id int) *SM {
+	tlbGeom := config.CacheGeom{
+		SizeBytes: g.cfg.GPU.TLBEntries * g.cfg.Mem.PageBytes,
+		Ways:      g.cfg.GPU.TLBWays,
+		LineBytes: g.cfg.Mem.PageBytes,
+		MSHRs:     1,
+	}
+	return &SM{
+		id:      id,
+		g:       g,
+		l1:      cache.New(g.cfg.GPU.L1D),
+		l1i:     cache.New(g.cfg.GPU.L1I),
+		tlb:     cache.New(tlbGeom),
+		waiters: make(map[uint64][]loadWaiter),
+		warps:   make([]*warp, g.cfg.WarpsPerSM()),
+	}
+}
+
+// maxResidentCTAs computes the CTA occupancy limit for the kernel.
+func (s *SM) maxResidentCTAs() int {
+	k := s.g.prog.Kernel
+	c := s.g.cfg.GPU
+	warpsPerCTA := (k.BlockDim + c.WarpWidth - 1) / c.WarpWidth
+	limit := c.MaxCTAsPerSM
+	if byThreads := c.MaxThreadsPerSM / k.BlockDim; byThreads < limit {
+		limit = byThreads
+	}
+	regsPerCTA := k.RegsUsed * k.BlockDim
+	if regsPerCTA > 0 {
+		if byRegs := c.MaxRegsPerSM / regsPerCTA; byRegs < limit {
+			limit = byRegs
+		}
+	}
+	if k.SmemBytes > 0 {
+		if bySmem := c.ScratchpadBytes / k.SmemBytes; bySmem < limit {
+			limit = bySmem
+		}
+	}
+	if bySlots := len(s.warps) / warpsPerCTA; bySlots < limit {
+		limit = bySlots
+	}
+	return limit
+}
+
+// refill launches new CTAs into free slots, at most one per cycle (the
+// hardware work distributor's launch rate), which also spreads the grid
+// across all SMs instead of front-loading the first ones.
+func (s *SM) refill() {
+	k := s.g.prog.Kernel
+	warpsPerCTA := (k.BlockDim + s.g.cfg.GPU.WarpWidth - 1) / s.g.cfg.GPU.WarpWidth
+	limit := s.maxResidentCTAs()
+	if len(s.ctas) < limit && s.g.nextCTA < k.GridDim {
+		// Find contiguous-enough free slots.
+		free := make([]int, 0, warpsPerCTA)
+		for slot := range s.warps {
+			if s.warps[slot] == nil {
+				free = append(free, slot)
+				if len(free) == warpsPerCTA {
+					break
+				}
+			}
+		}
+		if len(free) < warpsPerCTA {
+			return
+		}
+		ctaID := s.g.nextCTA
+		s.g.nextCTA++
+		cta := &ctaState{id: ctaID, live: warpsPerCTA}
+		for wi := 0; wi < warpsPerCTA; wi++ {
+			w := &warp{slot: free[wi], cta: cta}
+			s.initWarp(w, ctaID, wi)
+			s.warps[free[wi]] = w
+			cta.warps = append(cta.warps, w)
+		}
+		s.ctas = append(s.ctas, cta)
+	}
+}
+
+// initWarp sets up the ABI registers (see package kernel).
+func (s *SM) initWarp(w *warp, ctaID, warpInCTA int) {
+	k := s.g.prog.Kernel
+	ww := s.g.cfg.GPU.WarpWidth
+	base := warpInCTA * ww
+	var mask uint32
+	for t := 0; t < ww; t++ {
+		tid := base + t
+		if tid >= k.BlockDim {
+			break
+		}
+		mask |= 1 << uint(t)
+		gtid := ctaID*k.BlockDim + tid
+		w.regs[kernel.RegGTID][t] = uint64(gtid)
+		w.regs[kernel.RegCTAID][t] = uint64(ctaID)
+		w.regs[kernel.RegTID][t] = uint64(tid)
+		w.regs[kernel.RegNTID][t] = uint64(k.BlockDim)
+		for p, v := range k.Params {
+			w.regs[int(kernel.RegParam0)+p][t] = v
+		}
+	}
+	w.mask = mask
+}
+
+// tick advances the SM by one core clock.
+func (s *SM) tick(now timing.PS) {
+	s.refill()
+	s.aluUsed, s.lsuUsed, s.issued = 0, 0, 0
+	s.sawExecBlock, s.sawDepBlock, s.sawCreditBlock = false, false, false
+
+	s.drainReady(now)
+
+	anyLive := false
+	for _, slot := range s.schedOrder() {
+		w := s.warps[slot]
+		if w == nil || w.exited {
+			continue
+		}
+		anyLive = true
+		if w.atBarrier || w.waitAck {
+			continue
+		}
+		if len(w.memq) > 0 {
+			s.processMemq(w, now)
+			continue
+		}
+		if s.issued >= s.g.cfg.GPU.MaxIssue {
+			continue
+		}
+		before := s.issued
+		s.tryIssue(w, now)
+		if s.issued > before {
+			s.greedyWarp = slot
+		}
+	}
+	if s.g.cfg.GPU.SchedulerKind == "rr" {
+		s.rrStart = (s.rrStart + 1) % len(s.warps)
+	}
+
+	if !anyLive {
+		if s.g.nextCTA < s.g.prog.Kernel.GridDim {
+			s.g.st.AddNoIssue(stats.WarpIdle)
+		}
+		return
+	}
+	if s.issued > 0 {
+		s.g.st.IssueCycles++
+		return
+	}
+	switch {
+	case s.sawExecBlock:
+		s.g.st.AddNoIssue(stats.ExecUnitBusy)
+	case s.sawDepBlock:
+		s.g.st.AddNoIssue(stats.DependencyStall)
+	default:
+		// Warps blocked on offload acknowledgments or NSU buffer credits
+		// have no issuable instruction: the paper's "warp idle" class.
+		s.g.st.AddNoIssue(stats.WarpIdle)
+	}
+}
+
+// schedOrder returns the warp-slot visit order for this cycle. GTO (greedy
+// then oldest) keeps issuing from the warp that issued last until it stalls,
+// then falls back to slot order (oldest CTA first); round-robin rotates the
+// starting slot each cycle so warps share issue bandwidth evenly.
+func (s *SM) schedOrder() []int {
+	n := len(s.warps)
+	if s.order == nil {
+		s.order = make([]int, n)
+	}
+	switch s.g.cfg.GPU.SchedulerKind {
+	case "rr":
+		for i := 0; i < n; i++ {
+			s.order[i] = (s.rrStart + i) % n
+		}
+	default: // gto
+		s.order[0] = s.greedyWarp
+		k := 1
+		for i := 0; i < n; i++ {
+			if i != s.greedyWarp {
+				s.order[k] = i
+				k++
+			}
+		}
+	}
+	return s.order
+}
+
+// drainReady moves one packet per cycle from the ready buffer to the fabric.
+func (s *SM) drainReady(now timing.PS) {
+	if len(s.readyQ) == 0 {
+		return
+	}
+	p := s.readyQ[0]
+	s.readyQ = s.readyQ[1:]
+	s.g.fab.SendGPUToHMC(now, p.target, p.size, p.msg)
+}
+
+// ready reports whether a register's value is available.
+func (w *warp) ready(r isa.Reg, now timing.PS) bool {
+	if r == isa.RNone {
+		return true
+	}
+	return w.outstanding[r] == 0 && w.regReady[r] <= now
+}
+
+// effMask evaluates the instruction's predicate over the warp's active mask.
+func (w *warp) effMask(in isa.Instr) uint32 {
+	if in.Pred == isa.RNone {
+		return w.mask
+	}
+	var m uint32
+	for t := 0; t < core.WarpWidth; t++ {
+		if w.mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		on := w.regs[in.Pred][t] != 0
+		if on != in.PredNeg {
+			m |= 1 << uint(t)
+		}
+	}
+	return m
+}
+
+func (s *SM) traced(w *warp) bool {
+	return TraceGTID >= 0 && w.regs[kernel.RegGTID][0] == uint64(TraceGTID)
+}
+
+// tryIssue attempts to issue the warp's next instruction.
+func (s *SM) tryIssue(w *warp, now timing.PS) {
+	if w.fetchUntil > now {
+		return // instruction fetch in flight: empty instruction buffer
+	}
+	// Instruction fetch through the L1I; code lines are 8 B/instruction.
+	iline := uint64(w.pc) * isa.InstrBytes
+	if !s.l1i.Lookup(iline) {
+		s.l1i.Fill(iline)
+		w.fetchUntil = now + timing.PS(s.g.cfg.GPU.L2Latency)*s.g.smPeriod
+		return
+	}
+	in := s.g.prog.Kernel.Code[w.pc]
+	if s.traced(w) {
+		fmt.Printf("[%d] pc=%d %v | r20=%x r21=%d r22=%d r25=%x off=%v\n",
+			now, w.pc, in, uint32(w.regs[20][0]), w.regs[21][0], w.regs[22][0], uint32(w.regs[25][0]), w.off != nil)
+	}
+
+	// Offload-mode instruction filtering: @NSU ALU ops are skipped (they
+	// run on the memory stack); everything else executes here.
+	if w.off != nil && in.AtNSU {
+		w.pc++
+		s.issued++ // the NOP replacing it still consumes the issue slot
+		s.g.st.IssuedInstrs++
+		return
+	}
+
+	// Scoreboard.
+	for i := 0; i < in.Op.SrcCount(); i++ {
+		if !w.ready(in.Src[i], now) {
+			s.sawDepBlock = true
+			return
+		}
+	}
+	if !w.ready(in.Pred, now) || (in.Op.WritesDst() && !w.ready(in.Dst, now)) {
+		s.sawDepBlock = true
+		return
+	}
+
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		if s.aluUsed >= s.g.cfg.GPU.NumALUs {
+			s.sawExecBlock = true
+			return
+		}
+		s.aluUsed++
+		s.execALU(w, in, now)
+	case isa.ClassMem:
+		if s.lsuUsed >= s.g.cfg.GPU.NumLSUs {
+			s.sawExecBlock = true
+			return
+		}
+		if !s.setupMem(w, in, now) {
+			return // structural stall (credits / buffers)
+		}
+	case isa.ClassConst:
+		if s.aluUsed >= s.g.cfg.GPU.NumALUs {
+			s.sawExecBlock = true
+			return
+		}
+		s.aluUsed++
+		s.execConst(w, in, now)
+	case isa.ClassSmem:
+		if s.lsuUsed >= s.g.cfg.GPU.NumLSUs {
+			s.sawExecBlock = true
+			return
+		}
+		s.lsuUsed++
+		s.execSmem(w, in, now)
+	case isa.ClassCtrl:
+		s.execCtrl(w, in, now)
+	case isa.ClassOffload:
+		if !s.execOffload(w, in, now) {
+			return
+		}
+	}
+	s.issued++
+	s.g.st.IssuedInstrs++
+	s.g.st.IssuedThreadOps += int64(bits.OnesCount32(w.effMask(in)))
+}
+
+func (s *SM) execALU(w *warp, in isa.Instr, now timing.PS) {
+	m := w.effMask(in)
+	for t := 0; t < core.WarpWidth; t++ {
+		if m&(1<<uint(t)) == 0 {
+			continue
+		}
+		var a, b, c uint64
+		if in.Src[0] != isa.RNone {
+			a = w.regs[in.Src[0]][t]
+		}
+		if in.Src[1] != isa.RNone {
+			b = w.regs[in.Src[1]][t]
+		}
+		if in.Src[2] != isa.RNone {
+			c = w.regs[in.Src[2]][t]
+		}
+		w.regs[in.Dst][t] = isa.Eval(in, a, b, c)
+	}
+	w.regReady[in.Dst] = now + timing.PS(s.g.cfg.GPU.ALULatency)*s.g.smPeriod
+	w.pc++
+}
+
+// execConst serves a constant-memory load from the per-SM constant cache:
+// a short fixed latency with no off-chip traffic (the working sets of our
+// workloads fit the 4 KB constant cache, mirroring the paper's assumption).
+func (s *SM) execConst(w *warp, in isa.Instr, now timing.PS) {
+	m := w.effMask(in)
+	for t := 0; t < core.WarpWidth; t++ {
+		if m&(1<<uint(t)) == 0 {
+			continue
+		}
+		addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+		w.regs[in.Dst][t] = uint64(s.g.mem.Read32(addr))
+	}
+	w.regReady[in.Dst] = now + timing.PS(s.g.cfg.GPU.L1HitLatency)*s.g.smPeriod
+	w.pc++
+}
+
+// execSmem models scratchpad access as a short fixed-latency operation with
+// no off-chip traffic. Functional scratchpad state is per-CTA and private;
+// we back it with a per-CTA map on the GPU for simplicity.
+func (s *SM) execSmem(w *warp, in isa.Instr, now timing.PS) {
+	m := w.effMask(in)
+	sm := s.g.smemFor(s.id, w.cta.id)
+	for t := 0; t < core.WarpWidth; t++ {
+		if m&(1<<uint(t)) == 0 {
+			continue
+		}
+		addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+		if in.Op == isa.LDS {
+			w.regs[in.Dst][t] = uint64(sm[addr])
+		} else {
+			sm[addr] = uint32(w.regs[in.Src[1]][t])
+		}
+	}
+	if in.Op == isa.LDS {
+		w.regReady[in.Dst] = now + timing.PS(s.g.cfg.GPU.L1HitLatency)*s.g.smPeriod
+	}
+	w.pc++
+}
+
+func (s *SM) execCtrl(w *warp, in isa.Instr, now timing.PS) {
+	switch in.Op {
+	case isa.BRA:
+		w.pc = int(in.Imm)
+	case isa.BRP:
+		taken, mixed := false, false
+		first := true
+		for t := 0; t < core.WarpWidth; t++ {
+			if w.mask&(1<<uint(t)) == 0 {
+				continue
+			}
+			v := w.regs[in.Src[0]][t] != 0
+			if first {
+				taken, first = v, false
+			} else if v != taken {
+				mixed = true
+			}
+		}
+		if mixed {
+			panic(fmt.Sprintf("gpu: divergent branch at pc=%d (use predication)", w.pc))
+		}
+		if taken {
+			w.pc = int(in.Imm)
+		} else {
+			w.pc++
+		}
+	case isa.BAR:
+		w.pc++
+		w.atBarrier = true
+		w.cta.arrived++
+		if w.cta.arrived == w.cta.live {
+			for _, ww := range w.cta.warps {
+				ww.atBarrier = false
+			}
+			w.cta.arrived = 0
+		}
+	case isa.EXIT:
+		w.exited = true
+		cta := w.cta
+		cta.live--
+		if cta.arrived > 0 && cta.arrived == cta.live {
+			for _, ww := range cta.warps {
+				ww.atBarrier = false
+			}
+			cta.arrived = 0
+		}
+		if cta.live == 0 {
+			s.retireCTA(cta)
+		}
+	}
+}
+
+func (s *SM) retireCTA(cta *ctaState) {
+	for _, w := range cta.warps {
+		s.warps[w.slot] = nil
+	}
+	for i, c := range s.ctas {
+		if c == cta {
+			s.ctas = append(s.ctas[:i], s.ctas[i+1:]...)
+			break
+		}
+	}
+	s.g.freeSmem(s.id, cta.id)
+}
+
+// coalesce groups the per-thread addresses of a memory instruction into
+// line-granularity accesses (the GPU's coalescing unit).
+func (s *SM) coalesce(w *warp, in isa.Instr, mask uint32) []core.LineAccess {
+	lineBytes := uint64(s.g.cfg.LineBytes())
+	var lines []core.LineAccess
+	for t := 0; t < core.WarpWidth; t++ {
+		if mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+		line := addr &^ (lineBytes - 1)
+		off := uint8((addr & (lineBytes - 1)) / core.WordBytes)
+		found := false
+		for i := range lines {
+			if lines[i].LineAddr == line {
+				lines[i].Mask |= 1 << uint(t)
+				lines[i].Offsets[t] = off
+				found = true
+				break
+			}
+		}
+		if !found {
+			la := core.LineAccess{LineAddr: line, Mask: 1 << uint(t)}
+			la.Offsets[t] = off
+			lines = append(lines, la)
+		}
+	}
+	// Classify aligned accesses: offset_i == i for every covered thread.
+	for i := range lines {
+		aligned := true
+		for t := 0; t < core.WarpWidth; t++ {
+			if lines[i].Mask&(1<<uint(t)) != 0 && lines[i].Offsets[t] != uint8(t) {
+				aligned = false
+				break
+			}
+		}
+		lines[i].Aligned = aligned
+	}
+	return lines
+}
+
+// setupMem issues a memory instruction: resolves offload-mode credits and
+// target selection, then expands the access into line micro-ops. Returns
+// false if the warp must retry next cycle.
+func (s *SM) setupMem(w *warp, in isa.Instr, now timing.PS) bool {
+	mask := w.effMask(in)
+	offload := w.off != nil
+	lines := s.coalesce(w, in, mask)
+
+	var seq, total int
+	if offload {
+		ctx := w.off
+		// First memory instruction: pick the target NSU and reserve the
+		// NDP buffers (§4.1.1, §4.3).
+		if !ctx.targetKnown {
+			homes := make([]int, len(lines))
+			for i, la := range lines {
+				homes[i] = s.g.mem.HMCOf(la.LineAddr)
+			}
+			ctx.target = core.SelectTarget(homes, s.g.cfg.NumHMCs)
+			if !s.g.bufmgr.Reserve(ctx.target, ctx.block.numLD, ctx.block.numST) {
+				s.g.st.CreditStalls++
+				s.sawCreditBlock = true
+				return false
+			}
+			ctx.targetKnown = true
+			s.flushPending(ctx)
+		}
+		if in.Op == isa.LD {
+			seq = ctx.seqLD
+			ctx.seqLD++
+		} else {
+			seq = ctx.seqST
+			ctx.seqST++
+		}
+		total = len(lines)
+	}
+
+	if len(lines) == 0 {
+		// Fully predicated-off access: nothing to do.
+		w.pc++
+		s.lsuUsed++
+		return true
+	}
+
+	// Translate: every distinct page goes through the SM's TLB (the GPU
+	// owns translation in partitioned execution, §4.1); a miss delays the
+	// affected line accesses by the page-walk latency.
+	walk := timing.PS(s.g.cfg.GPU.TLBMissLatency) * s.g.smPeriod
+	pageMask := ^uint64(s.g.cfg.Mem.PageBytes - 1)
+	var missPage uint64
+	seenPage := uint64(1) // addresses never map page 1 (offset within page 0x1000+)
+	for _, la := range lines {
+		page := la.LineAddr & pageMask
+		if page == seenPage {
+			continue
+		}
+		seenPage = page
+		if !s.tlb.Lookup(page) {
+			s.tlb.Fill(page)
+			missPage = page | 1
+		}
+	}
+
+	for _, la := range lines {
+		op := microOp{access: la, isStore: in.Op == isa.ST, dst: in.Dst,
+			offload: offload, seq: seq, total: total}
+		if missPage != 0 && la.LineAddr&pageMask == missPage&^1 {
+			op.readyAt = now + walk
+		}
+		if op.isStore && !offload {
+			for t := 0; t < core.WarpWidth; t++ {
+				if la.Mask&(1<<uint(t)) != 0 {
+					op.data[t] = uint32(w.regs[in.Src[1]][t])
+				}
+			}
+		}
+		w.memq = append(w.memq, op)
+	}
+	if in.Op == isa.LD && !offload {
+		w.outstanding[in.Dst] = int16(len(lines))
+		w.regReady[in.Dst] = inf
+	}
+	w.pc++
+	s.lsuUsed++ // issuing the instruction consumes the LSU this cycle
+	return true
+}
+
+// processMemq serves the warp's outstanding line micro-ops, at most one per
+// LSU per cycle. Divergent accesses therefore occupy the LSU for several
+// cycles — the GPU's memory-divergence penalty.
+func (s *SM) processMemq(w *warp, now timing.PS) {
+	for s.lsuUsed < s.g.cfg.GPU.NumLSUs && len(w.memq) > 0 {
+		op := &w.memq[0]
+		if op.readyAt > now {
+			s.sawDepBlock = true // translation in flight
+			return
+		}
+		if !s.serveMicroOp(w, op, now) {
+			s.sawExecBlock = true
+			return
+		}
+		s.lsuUsed++
+		w.memq = w.memq[1:]
+	}
+	if len(w.memq) > 0 && s.lsuUsed >= s.g.cfg.GPU.NumLSUs {
+		s.sawExecBlock = true
+	}
+}
+
+func (s *SM) serveMicroOp(w *warp, op *microOp, now timing.PS) bool {
+	if op.offload {
+		return s.serveOffloadOp(w, op, now)
+	}
+	if op.isStore {
+		return s.serveBaselineStore(w, op, now)
+	}
+	return s.serveBaselineLoad(w, op, now)
+}
+
+func (s *SM) serveBaselineLoad(w *warp, op *microOp, now timing.PS) bool {
+	line := op.access.LineAddr
+	hit := s.l1.Contains(line)
+	// Cache profiling for the §7.3 decision also runs in normal mode so a
+	// suppressed block keeps being re-evaluated. An RDF probe would see
+	// both cache levels, so an L1 miss defers the verdict to the L2.
+	profile := -1
+	if w.inRegion {
+		profile = w.regionID
+	}
+	if !hit {
+		// Reserve the MSHR before committing the access so a full-MSHR
+		// retry next cycle is not double-counted in the cache statistics.
+		ok, primary := s.l1.MSHRReserve(line)
+		if !ok {
+			return false
+		}
+		s.l1.Lookup(line)
+		s.waiters[line] = append(s.waiters[line], loadWaiter{w: w, dst: op.dst})
+		if primary {
+			s.g.sliceFor(line).push(&l2Req{kind: reqRead, line: line, blockID: profile,
+				words: bits.OnesCount32(op.access.Mask),
+				onFill: func(at timing.PS) {
+					s.fillL1(line, at)
+				}})
+		} else if profile >= 0 {
+			// Merged into an in-flight fill: an RDF would also have missed.
+			s.g.recordLine(profile, false, bits.OnesCount32(op.access.Mask))
+		}
+	} else {
+		s.l1.Lookup(line)
+		if profile >= 0 {
+			s.g.recordLine(profile, true, bits.OnesCount32(op.access.Mask))
+		}
+	}
+	// Functional read happens now; timing is tracked separately.
+	for t := 0; t < core.WarpWidth; t++ {
+		if op.access.Mask&(1<<uint(t)) != 0 {
+			addr := line + uint64(op.access.Offsets[t])*core.WordBytes
+			w.regs[op.dst][t] = uint64(s.g.mem.Read32(addr))
+		}
+	}
+	if hit {
+		s.loadLineDone(w, op.dst, now+timing.PS(s.g.cfg.GPU.L1HitLatency)*s.g.smPeriod)
+	}
+	return true
+}
+
+// fillL1 completes an L1 miss: install the line and wake the waiters.
+func (s *SM) fillL1(line uint64, now timing.PS) {
+	s.l1.MSHRRelease(line)
+	for _, lw := range s.waiters[line] {
+		s.loadLineDone(lw.w, lw.dst, now)
+	}
+	delete(s.waiters, line)
+}
+
+func (s *SM) loadLineDone(w *warp, dst isa.Reg, at timing.PS) {
+	w.outstanding[dst]--
+	if w.outstanding[dst] <= 0 {
+		w.outstanding[dst] = 0
+		w.regReady[dst] = at
+	}
+}
+
+func (s *SM) serveBaselineStore(w *warp, op *microOp, now timing.PS) bool {
+	line := op.access.LineAddr
+	// Write-through: functional write now; L1 probe keeps tags coherent,
+	// and any read-only NSU copy of the line becomes stale.
+	s.l1.Lookup(line)
+	s.g.invalidateNSUDirs(line)
+	for t := 0; t < core.WarpWidth; t++ {
+		if op.access.Mask&(1<<uint(t)) != 0 {
+			addr := line + uint64(op.access.Offsets[t])*core.WordBytes
+			s.g.mem.Write32(addr, op.data[t])
+		}
+	}
+	wr := &core.WriteReq{Access: op.access, Data: op.data}
+	s.g.sliceFor(line).push(&l2Req{kind: reqWrite, line: line, write: wr})
+	return true
+}
+
+// serveOffloadOp handles partitioned-execution memory micro-ops: loads
+// probe the GPU caches and become RDF traffic; stores become WTA packets
+// for the target NSU (Figure 6).
+func (s *SM) serveOffloadOp(w *warp, op *microOp, now timing.PS) bool {
+	ctx := w.off
+	if op.isStore {
+		if len(s.readyQ) >= s.g.cfg.NDP.ReadyEntries {
+			return false
+		}
+		wta := &core.WTAPacket{ID: ctx.id, Seq: op.seq, Target: ctx.target,
+			Access: op.access, TotalPkts: op.total}
+		s.pushReady(ctx.target, wta.Size(), wta)
+		s.g.st.WTAPackets++
+		s.g.wtaInflight[s.g.mem.HMCOf(op.access.LineAddr)]++
+		return true
+	}
+	line := op.access.LineAddr
+	if s.l1.Lookup(line) {
+		// RDF served from the L1: the GPU ships the data to the NSU.
+		if len(s.readyQ) >= s.g.cfg.NDP.ReadyEntries {
+			return false
+		}
+		s.g.recordLine(ctx.block.id, true, bits.OnesCount32(op.access.Mask))
+		s.g.st.RDFPackets++
+		s.g.st.RDFCacheHits++
+		rdf := &core.RDFPacket{ID: ctx.id, Seq: op.seq, Target: ctx.target,
+			Access: op.access, TotalPkts: op.total}
+		msg, size := s.g.shipCachedLine(rdf)
+		s.pushReady(ctx.target, size, msg)
+		return true
+	}
+	// L1 miss: probe the L2 slice; it forwards to DRAM on a miss there.
+	rdf := &core.RDFPacket{ID: ctx.id, Seq: op.seq, Target: ctx.target,
+		Access: op.access, TotalPkts: op.total}
+	s.g.st.RDFPackets++
+	s.g.sliceFor(line).push(&l2Req{kind: reqRDF, line: line, rdf: rdf, blockID: ctx.block.id})
+	return true
+}
+
+// pushReady queues a packet in the ready buffer.
+func (s *SM) pushReady(target, size int, msg any) {
+	s.readyQ = append(s.readyQ, outPkt{target: target, size: size, msg: msg})
+}
+
+// flushPending moves the context's pending packets (the offload command,
+// generated before the target was known) into the ready buffer.
+func (s *SM) flushPending(ctx *offCtx) {
+	rest := s.pendingQ[:0]
+	for _, p := range s.pendingQ {
+		if cmd, ok := p.msg.(*core.CmdPacket); ok && cmd.ID == ctx.id {
+			cmd.Target = ctx.target
+			s.pushReady(ctx.target, p.size, cmd)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	s.pendingQ = rest
+}
+
+// execOffload handles OFLDBEG / OFLDEND.
+func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
+	blk := s.g.blocks[in.BlockID]
+	if in.Op == isa.OFLDBEG {
+		s.g.st.OffloadBlocksSeen++
+		if s.g.dec.Decide(blk.id) {
+			if len(s.pendingQ) >= s.g.cfg.NDP.PendingEntries {
+				s.g.st.PendingBufStalls++
+				s.sawExecBlock = true
+				return false
+			}
+			s.g.st.OffloadBlocksOffloaded++
+			ctx := &offCtx{block: blk, id: core.OffloadID{SM: int32(s.id), Warp: int32(w.slot)}, began: now}
+			w.off = ctx
+			cmd := &core.CmdPacket{ID: ctx.id, BlockID: blk.id, Mask: w.mask,
+				NumLD: blk.numLD, NumST: blk.numST}
+			for _, r := range blk.regsIn {
+				rv := core.RegVals{Reg: int16(r)}
+				rv.Vals = w.regs[r]
+				cmd.In.Regs = append(cmd.In.Regs, rv)
+			}
+			s.g.st.OffloadCmdPackets++
+			ctx.cmdBytes = cmd.Size() - core.HeaderBytes
+			s.pendingQ = append(s.pendingQ, outPkt{size: cmd.Size(), msg: cmd})
+		} else {
+			w.inRegion = true
+			w.regionID = blk.id
+		}
+		w.pc++
+		return true
+	}
+
+	// OFLDEND.
+	if w.off != nil {
+		ctx := w.off
+		if !ctx.targetKnown {
+			// Block contained no executed memory instruction (fully
+			// predicated off): pick stack 0, reserve, and flush so the NSU
+			// still runs the block and acknowledges.
+			if !s.g.bufmgr.Reserve(0, ctx.block.numLD, ctx.block.numST) {
+				s.g.st.CreditStalls++
+				s.sawCreditBlock = true
+				return false
+			}
+			ctx.target = 0
+			ctx.targetKnown = true
+			s.flushPending(ctx)
+		}
+		w.pc++
+		if ctx.ack != nil {
+			// The acknowledgment already arrived: complete immediately.
+			s.applyAck(w, ctx.ack, now)
+		} else {
+			w.waitAck = true // resumes when the ack arrives
+		}
+		return true
+	}
+	// Normal-mode end: account the region's instructions for the epoch
+	// throughput metric and close the profiling instance.
+	w.inRegion = false
+	s.g.regionInstrs += int64(blk.instrs)
+	s.g.st.OffloadRegionInstrs += int64(blk.instrs)
+	if s.g.rec != nil {
+		s.g.rec.RecordInstance(blk.id)
+	}
+	w.pc++
+	return true
+}
+
+// deliverAck routes an offload acknowledgment to its warp. If the warp is
+// still inside the block (the NSU finished before the GPU reached OFLD.END)
+// the ack is stashed on the context and applied at OFLD.END.
+func (s *SM) deliverAck(ack *core.AckPacket, now timing.PS) {
+	w := s.warps[ack.ID.Warp]
+	if w == nil || w.off == nil {
+		panic("gpu: ack for unknown offload context")
+	}
+	if !w.waitAck {
+		w.off.ack = ack
+		return
+	}
+	s.applyAck(w, ack, now)
+}
+
+// applyAck writes back the returned registers and releases the warp.
+func (s *SM) applyAck(w *warp, ack *core.AckPacket, now timing.PS) {
+	blk := w.off.block
+	s.g.st.AckLatencySumPS += int64(now - w.off.began)
+	s.g.st.AckLatencyCount++
+	for _, rv := range ack.Out.Regs {
+		m := rv.Mask
+		if m == 0 {
+			m = ack.Mask
+		}
+		for t := 0; t < core.WarpWidth; t++ {
+			if m&(1<<uint(t)) != 0 {
+				w.regs[rv.Reg][t] = rv.Vals[t]
+			}
+		}
+		w.regReady[rv.Reg] = now
+		w.outstanding[rv.Reg] = 0
+		if s.traced(w) {
+			fmt.Printf("[%d] ACK writes r%d = %x\n", now, rv.Reg, uint32(rv.Vals[0]))
+		}
+	}
+	if s.g.rec != nil {
+		s.g.rec.RecordTransfer(blk.id, w.off.cmdBytes+ack.Size()-core.HeaderBytes)
+	}
+	w.off = nil
+	w.waitAck = false
+	s.g.regionInstrs += int64(blk.instrs)
+	s.g.st.OffloadRegionInstrs += int64(blk.instrs)
+	if s.g.rec != nil {
+		s.g.rec.RecordInstance(blk.id)
+	}
+}
+
+// busy reports whether the SM still has live warps or queued packets.
+func (s *SM) busy() bool {
+	if len(s.readyQ) > 0 || len(s.pendingQ) > 0 || len(s.waiters) > 0 {
+		return true
+	}
+	for _, w := range s.warps {
+		if w != nil && !w.exited {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+// Package interp is a reference interpreter for the virtual ISA: it executes
+// a kernel sequentially, warp by warp, with none of the simulator's timing,
+// caching, or offload machinery. It exists purely as an oracle — the
+// simulator (in any offload mode) must produce bit-identical memory.
+//
+// Warps execute in a fixed order (CTA-major), which is equivalent to any
+// interleaving for race-free kernels; racy kernels are outside its contract.
+package interp
+
+import (
+	"fmt"
+
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/vm"
+)
+
+// Run executes the kernel to completion over mem.
+func Run(k *kernel.Kernel, mem *vm.System) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	const ww = 32
+	warpsPerCTA := (k.BlockDim + ww - 1) / ww
+	smem := make(map[uint64]uint32)
+
+	for cta := 0; cta < k.GridDim; cta++ {
+		// Scratchpad is CTA-private; barriers require lockstep execution of
+		// the CTA's warps, which a sequential interpreter satisfies only
+		// for kernels whose barriers separate smem phases. We execute the
+		// CTA's warps phase by phase between barriers.
+		for key := range smem {
+			delete(smem, key)
+		}
+		warps := make([]*warpState, warpsPerCTA)
+		for w := 0; w < warpsPerCTA; w++ {
+			warps[w] = newWarp(k, cta, w)
+		}
+		live := warpsPerCTA
+		for live > 0 {
+			progressed := false
+			for _, w := range warps {
+				if w.done {
+					continue
+				}
+				if err := w.runUntilBarrierOrExit(k, mem, smem); err != nil {
+					return err
+				}
+				progressed = true
+				if w.done {
+					live--
+				}
+			}
+			// Release barriers: all non-done warps are at one.
+			for _, w := range warps {
+				w.atBarrier = false
+			}
+			if !progressed {
+				return fmt.Errorf("interp: no progress in CTA %d", cta)
+			}
+		}
+	}
+	return nil
+}
+
+type warpState struct {
+	pc        int
+	mask      uint32
+	regs      [isa.NumRegs][32]uint64
+	done      bool
+	atBarrier bool
+}
+
+func newWarp(k *kernel.Kernel, cta, warpInCTA int) *warpState {
+	w := &warpState{}
+	base := warpInCTA * 32
+	for t := 0; t < 32; t++ {
+		tid := base + t
+		if tid >= k.BlockDim {
+			break
+		}
+		w.mask |= 1 << uint(t)
+		w.regs[kernel.RegGTID][t] = uint64(cta*k.BlockDim + tid)
+		w.regs[kernel.RegCTAID][t] = uint64(cta)
+		w.regs[kernel.RegTID][t] = uint64(tid)
+		w.regs[kernel.RegNTID][t] = uint64(k.BlockDim)
+		for p, v := range k.Params {
+			w.regs[int(kernel.RegParam0)+p][t] = v
+		}
+	}
+	return w
+}
+
+func (w *warpState) effMask(in isa.Instr) uint32 {
+	if in.Pred == isa.RNone {
+		return w.mask
+	}
+	var m uint32
+	for t := 0; t < 32; t++ {
+		if w.mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		on := w.regs[in.Pred][t] != 0
+		if on != in.PredNeg {
+			m |= 1 << uint(t)
+		}
+	}
+	return m
+}
+
+// runUntilBarrierOrExit steps the warp until it exits or reaches a barrier.
+func (w *warpState) runUntilBarrierOrExit(k *kernel.Kernel, mem *vm.System, smem map[uint64]uint32) error {
+	for steps := 0; steps < 1<<24; steps++ {
+		in := k.Code[w.pc]
+		switch in.Op {
+		case isa.EXIT:
+			w.done = true
+			return nil
+		case isa.BAR:
+			w.pc++
+			w.atBarrier = true
+			return nil
+		case isa.BRA:
+			w.pc = int(in.Imm)
+			continue
+		case isa.BRP:
+			taken, first, mixed := false, true, false
+			for t := 0; t < 32; t++ {
+				if w.mask&(1<<uint(t)) == 0 {
+					continue
+				}
+				v := w.regs[in.Src[0]][t] != 0
+				if first {
+					taken, first = v, false
+				} else if v != taken {
+					mixed = true
+				}
+			}
+			if mixed {
+				return fmt.Errorf("interp: divergent branch at pc=%d", w.pc)
+			}
+			if taken {
+				w.pc = int(in.Imm)
+			} else {
+				w.pc++
+			}
+			continue
+		case isa.OFLDBEG, isa.OFLDEND, isa.NOP:
+			w.pc++
+			continue
+		}
+
+		m := w.effMask(in)
+		for t := 0; t < 32; t++ {
+			if m&(1<<uint(t)) == 0 {
+				continue
+			}
+			switch in.Op {
+			case isa.LD, isa.LDC:
+				addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+				w.regs[in.Dst][t] = uint64(mem.Read32(addr))
+			case isa.ST:
+				addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+				mem.Write32(addr, uint32(w.regs[in.Src[1]][t]))
+			case isa.LDS:
+				addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+				w.regs[in.Dst][t] = uint64(smem[addr])
+			case isa.STS:
+				addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+				smem[addr] = uint32(w.regs[in.Src[1]][t])
+			default:
+				var a, b, c uint64
+				if in.Src[0] != isa.RNone {
+					a = w.regs[in.Src[0]][t]
+				}
+				if in.Src[1] != isa.RNone {
+					b = w.regs[in.Src[1]][t]
+				}
+				if in.Src[2] != isa.RNone {
+					c = w.regs[in.Src[2]][t]
+				}
+				w.regs[in.Dst][t] = isa.Eval(in, a, b, c)
+			}
+		}
+		w.pc++
+	}
+	return fmt.Errorf("interp: step limit exceeded (infinite loop?)")
+}

@@ -1,0 +1,96 @@
+package interp
+
+import (
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+// TestInterpreterMatchesWorkloadReferences runs every Table 1 workload
+// through the reference interpreter and checks the workload's own host
+// verifier — two independently written oracles must agree.
+func TestInterpreterMatchesWorkloadReferences(t *testing.T) {
+	for _, abbr := range workloads.Abbrs() {
+		abbr := abbr
+		t.Run(abbr, func(t *testing.T) {
+			mem := vm.New(config.Default())
+			w, err := workloads.Build(abbr, mem, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Run(w.Kernel, mem); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Verify(); err != nil {
+				t.Fatalf("interpreter output rejected by host reference: %v", err)
+			}
+		})
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	// Stage values through scratchpad across a barrier: thread t writes
+	// slot t, then reads slot (t+1)%64 after the barrier.
+	cfg := config.Default()
+	mem := vm.New(cfg)
+	const n = 128
+	out := mem.Alloc(4 * n)
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegTID, 2)
+	kb.Sts(16, 0, kernel.RegTID)
+	kb.Bar()
+	kb.OpImm(isa.ADDI, 17, kernel.RegTID, 1)
+	kb.MovI(18, 63)
+	kb.Op3(isa.AND, 17, 17, 18)
+	kb.OpImm(isa.SHLI, 17, 17, 2)
+	kb.Lds(19, 17, 0)
+	kb.OpImm(isa.SHLI, 20, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 20, kernel.RegParam0, 20)
+	kb.St(20, 0, 19)
+	kb.Exit()
+	k := kb.MustBuild("stage", n/64, 64, out)
+
+	if err := Run(k, mem); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := uint32((i%64 + 1) % 64)
+		if got := mem.Read32(out + uint64(4*i)); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestInfiniteLoopDetected(t *testing.T) {
+	mem := vm.New(config.Default())
+	mem.Alloc(4096)
+	kb := kernel.NewBuilder()
+	top := kb.NewLabel()
+	kb.Bind(top)
+	kb.Bra(top)
+	kb.Exit()
+	k := kb.MustBuild("spin", 1, 32)
+	if err := Run(k, mem); err == nil {
+		t.Fatal("expected step-limit error")
+	}
+}
+
+func TestDivergentBranchRejected(t *testing.T) {
+	mem := vm.New(config.Default())
+	mem.Alloc(4096)
+	kb := kernel.NewBuilder()
+	skip := kb.NewLabel()
+	kb.OpImm(isa.ANDI, 16, kernel.RegTID, 1) // diverges within the warp
+	kb.Brp(16, skip)
+	kb.MovI(17, 1)
+	kb.Bind(skip)
+	kb.Exit()
+	k := kb.MustBuild("div", 1, 32)
+	if err := Run(k, mem); err == nil {
+		t.Fatal("expected divergent-branch error")
+	}
+}

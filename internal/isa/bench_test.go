@@ -1,0 +1,18 @@
+package isa
+
+import "testing"
+
+func BenchmarkEvalFMA(b *testing.B) {
+	in := New(FMA)
+	a, c, d := FromF32(1.5), FromF32(2.5), FromF32(3.5)
+	for i := 0; i < b.N; i++ {
+		_ = Eval(in, a, c, d)
+	}
+}
+
+func BenchmarkEvalIntALU(b *testing.B) {
+	in := New(ADD)
+	for i := 0; i < b.N; i++ {
+		_ = Eval(in, uint64(i), 7, 0)
+	}
+}

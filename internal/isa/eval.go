@@ -1,0 +1,127 @@
+package isa
+
+import "math"
+
+// F32 reinterprets the low 32 bits of a register value as a float32.
+func F32(v uint64) float32 { return math.Float32frombits(uint32(v)) }
+
+// FromF32 packs a float32 into a register value.
+func FromF32(f float32) uint64 { return uint64(math.Float32bits(f)) }
+
+// Eval computes the result of an ALU-class instruction given its operand
+// values. It must only be called for opcodes with Class() == ClassALU and
+// WritesDst() == true. The same evaluator runs on the GPU SM and on the NSU,
+// which is what makes the partitioned execution functionally transparent.
+func Eval(in Instr, a, b, c uint64) uint64 {
+	switch in.Op {
+	case MOV:
+		return a
+	case MOVI:
+		return uint64(in.Imm)
+	case ADD:
+		return a + b
+	case ADDI:
+		return a + uint64(in.Imm)
+	case SUB:
+		return a - b
+	case MUL:
+		return a * b
+	case MULI:
+		return a * uint64(in.Imm)
+	case MAD:
+		return a*b + c
+	case AND:
+		return a & b
+	case ANDI:
+		return a & uint64(in.Imm)
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case SHL:
+		return a << (b & 63)
+	case SHLI:
+		return a << (uint64(in.Imm) & 63)
+	case SHR:
+		return a >> (b & 63)
+	case SHRI:
+		return a >> (uint64(in.Imm) & 63)
+	case MIN:
+		if int64(a) < int64(b) {
+			return a
+		}
+		return b
+	case MAX:
+		if int64(a) > int64(b) {
+			return a
+		}
+		return b
+	case FADD:
+		return FromF32(F32(a) + F32(b))
+	case FSUB:
+		return FromF32(F32(a) - F32(b))
+	case FMUL:
+		return FromF32(F32(a) * F32(b))
+	case FDIV:
+		return FromF32(F32(a) / F32(b))
+	case FMA:
+		// Explicit conversion forces rounding of the product: Go would
+		// otherwise be free to fuse the multiply-add, making results
+		// platform-dependent.
+		return FromF32(float32(F32(a)*F32(b)) + F32(c))
+	case FMIN:
+		return FromF32(float32(math.Min(float64(F32(a)), float64(F32(b)))))
+	case FMAX:
+		return FromF32(float32(math.Max(float64(F32(a)), float64(F32(b)))))
+	case FABS:
+		return FromF32(float32(math.Abs(float64(F32(a)))))
+	case FSQRT:
+		return FromF32(float32(math.Sqrt(float64(F32(a)))))
+	case I2F:
+		return FromF32(float32(int64(a)))
+	case F2I:
+		return uint64(int64(F32(a)))
+	case SETP:
+		if Compare(in.Cmp, a, b) {
+			return 1
+		}
+		return 0
+	case SEL:
+		if c != 0 {
+			return a
+		}
+		return b
+	default:
+		panic("isa: Eval called on non-ALU opcode " + in.Op.String())
+	}
+}
+
+// Compare evaluates a comparison operator on two register values.
+func Compare(op CmpOp, a, b uint64) bool {
+	switch op {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return int64(a) < int64(b)
+	case CmpLE:
+		return int64(a) <= int64(b)
+	case CmpGT:
+		return int64(a) > int64(b)
+	case CmpGE:
+		return int64(a) >= int64(b)
+	case CmpFLT:
+		return F32(a) < F32(b)
+	case CmpFLE:
+		return F32(a) <= F32(b)
+	case CmpFGT:
+		return F32(a) > F32(b)
+	case CmpFGE:
+		return F32(a) >= F32(b)
+	case CmpFEQ:
+		return F32(a) == F32(b)
+	default:
+		panic("isa: unknown comparison")
+	}
+}

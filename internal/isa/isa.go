@@ -1,0 +1,331 @@
+// Package isa defines the virtual instruction set executed by both the GPU
+// SMs and the NSUs (Near-data processing SIMD Units).
+//
+// The ISA is a small PTX-like register machine. Registers are per-thread
+// 64-bit values; memory is accessed in 4-byte words. Floating point uses
+// float32 semantics on the low 32 bits of a register. Per-thread control
+// divergence is expressed with predicated execution (every instruction can
+// carry a predicate register); branches must be warp-uniform, which matches
+// the paper's requirement that offload blocks never span basic blocks.
+//
+// Two pseudo-instructions, OFLDBEG and OFLDEND, bracket offload blocks
+// (Figure 3 of the paper). They are inserted by the static analyzer in
+// internal/analyzer, never written by hand in workloads.
+package isa
+
+import "fmt"
+
+// Reg names a per-thread register. RNone marks an unused operand slot.
+type Reg int16
+
+// RNone is the absent-register sentinel.
+const RNone Reg = -1
+
+// NumRegs is the architectural register count per thread.
+const NumRegs = 64
+
+// InstrBytes is the encoded size of one instruction, used for instruction
+// cache footprints and I-cache utilization accounting (Figure 11).
+const InstrBytes = 8
+
+// Opcode enumerates the instruction set.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	NOP Opcode = iota
+
+	// Data movement and integer ALU. Register-register forms read Src[0]
+	// and Src[1]; immediate forms read Src[0] and Imm.
+	MOV  // Dst = Src0
+	MOVI // Dst = Imm
+	ADD  // Dst = Src0 + Src1
+	ADDI // Dst = Src0 + Imm
+	SUB  // Dst = Src0 - Src1
+	MUL  // Dst = Src0 * Src1
+	MULI // Dst = Src0 * Imm
+	MAD  // Dst = Src0*Src1 + Src2
+	AND  // Dst = Src0 & Src1
+	ANDI // Dst = Src0 & Imm
+	OR   // Dst = Src0 | Src1
+	XOR  // Dst = Src0 ^ Src1
+	SHL  // Dst = Src0 << Src1
+	SHLI // Dst = Src0 << Imm
+	SHR  // Dst = Src0 >> Src1 (logical)
+	SHRI // Dst = Src0 >> Imm (logical)
+	MIN  // Dst = min(Src0, Src1) signed
+	MAX  // Dst = max(Src0, Src1) signed
+
+	// Float32 ALU (low 32 bits of the registers).
+	FADD // Dst = Src0 + Src1
+	FSUB // Dst = Src0 - Src1
+	FMUL // Dst = Src0 * Src1
+	FDIV // Dst = Src0 / Src1
+	FMA  // Dst = Src0*Src1 + Src2
+	FMIN // Dst = min(Src0, Src1)
+	FMAX
+	FABS  // Dst = |Src0|
+	FSQRT // Dst = sqrt(Src0)
+	I2F   // Dst = float32(int64(Src0))
+	F2I   // Dst = int64(float32(Src0))
+
+	// Comparison: Dst = Cmp(Src0, Src1) ? 1 : 0.
+	SETP
+	// Select: Dst = Src2 != 0 ? Src0 : Src1.
+	SEL
+
+	// Global memory: 4-byte word at [Src0 + Imm].
+	LD // Dst = mem[Src0+Imm]
+	ST // mem[Src0+Imm] = Src1
+	// Constant memory (read-only, cached on both GPU and NSU — Table 2
+	// gives the NSU a 4 KB constant cache, so LDC never becomes RDF
+	// traffic and may appear freely inside offload blocks).
+	LDC // Dst = const[Src0+Imm]
+
+	// Scratchpad ("shared") memory, excluded from offload blocks (§3.1).
+	LDS // Dst = smem[Src0+Imm]
+	STS // smem[Src0+Imm] = Src1
+
+	// Control flow. Targets are absolute instruction indices in Imm.
+	BRA // unconditional branch
+	BRP // branch if Src0 != 0 (must be warp-uniform)
+	BAR // CTA-wide barrier, excluded from offload blocks (§3.1)
+	EXIT
+
+	// Offload block brackets, inserted by the analyzer (§3.2).
+	OFLDBEG // BlockID identifies the block; begins an offload block
+	OFLDEND // ends the block
+
+	numOpcodes
+)
+
+var opNames = [...]string{
+	NOP: "nop", MOV: "mov", MOVI: "movi", ADD: "add", ADDI: "addi", SUB: "sub",
+	MUL: "mul", MULI: "muli", MAD: "mad", AND: "and", ANDI: "andi", OR: "or",
+	XOR: "xor", SHL: "shl", SHLI: "shli", SHR: "shr", SHRI: "shri",
+	MIN: "min", MAX: "max",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FMA: "fma",
+	FMIN: "fmin", FMAX: "fmax", FABS: "fabs", FSQRT: "fsqrt", I2F: "i2f", F2I: "f2i",
+	SETP: "setp", SEL: "sel",
+	LD: "ld", ST: "st", LDC: "ldc", LDS: "lds", STS: "sts",
+	BRA: "bra", BRP: "brp", BAR: "bar", EXIT: "exit",
+	OFLDBEG: "ofld.beg", OFLDEND: "ofld.end",
+}
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// CmpOp is the comparison operator of a SETP instruction.
+type CmpOp uint8
+
+// Comparison operators. The F-prefixed ones compare float32 values.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT // signed
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpFLT
+	CmpFLE
+	CmpFGT
+	CmpFGE
+	CmpFEQ
+)
+
+var cmpNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge", "flt", "fle", "fgt", "fge", "feq"}
+
+// String implements fmt.Stringer.
+func (c CmpOp) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("cmp(%d)", uint8(c))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Opcode
+	Dst Reg
+	Src [3]Reg
+	Imm int64
+	Cmp CmpOp
+
+	// Predication: if Pred != RNone, the instruction executes only in
+	// threads where (reg[Pred] != 0) != PredNeg.
+	Pred    Reg
+	PredNeg bool
+
+	// Offload annotations, filled by the static analyzer.
+	BlockID  int  // for OFLDBEG/OFLDEND: offload block index; else -1
+	AtNSU    bool // ALU op marked @NSU: skipped on GPU when block is offloaded
+	AddrCalc bool // ALU op on the address slice: stays on GPU, removed from NSU code
+}
+
+// New returns an instruction with no predicate and no offload annotations.
+func New(op Opcode) Instr {
+	return Instr{Op: op, Dst: RNone, Src: [3]Reg{RNone, RNone, RNone}, Pred: RNone, BlockID: -1}
+}
+
+// Class groups opcodes by execution resource.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassMem
+	ClassConst
+	ClassSmem
+	ClassCtrl
+	ClassOffload
+)
+
+// Class returns the opcode's class.
+func (o Opcode) Class() Class {
+	switch o {
+	case LD, ST:
+		return ClassMem
+	case LDC:
+		return ClassConst
+	case LDS, STS:
+		return ClassSmem
+	case BRA, BRP, BAR, EXIT:
+		return ClassCtrl
+	case OFLDBEG, OFLDEND:
+		return ClassOffload
+	default:
+		return ClassALU
+	}
+}
+
+// IsALU reports whether the opcode executes on the ALU pipeline (including
+// moves and comparisons).
+func (o Opcode) IsALU() bool { return o.Class() == ClassALU }
+
+// IsMem reports whether the opcode accesses global memory.
+func (o Opcode) IsMem() bool { return o.Class() == ClassMem }
+
+// WritesDst reports whether the opcode writes its Dst register.
+func (o Opcode) WritesDst() bool {
+	switch o {
+	case NOP, ST, STS, BRA, BRP, BAR, EXIT, OFLDBEG, OFLDEND:
+		return false
+	default:
+		return true
+	}
+}
+
+// SrcCount returns how many Src operand slots the opcode reads.
+func (o Opcode) SrcCount() int {
+	switch o {
+	case NOP, MOVI, BRA, BAR, EXIT, OFLDBEG, OFLDEND:
+		return 0
+	case MOV, ADDI, MULI, ANDI, SHLI, SHRI, FABS, FSQRT, I2F, F2I, LD, LDC, LDS, BRP:
+		return 1
+	case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, MIN, MAX,
+		FADD, FSUB, FMUL, FDIV, FMIN, FMAX, SETP, ST, STS:
+		return 2
+	case MAD, FMA, SEL:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// HasImm reports whether the opcode consumes its immediate field as data
+// (address offset, immediate operand, or branch target).
+func (o Opcode) HasImm() bool {
+	switch o {
+	case MOVI, ADDI, MULI, ANDI, SHLI, SHRI, LD, ST, LDC, LDS, STS, BRA, BRP:
+		return true
+	default:
+		return false
+	}
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	s := in.Op.String()
+	if in.Op == SETP {
+		s += "." + in.Cmp.String()
+	}
+	if in.AtNSU {
+		s += "@NSU"
+	}
+	if in.AddrCalc {
+		s += "@ADDR"
+	}
+	out := s
+	switch {
+	case in.Op == LD || in.Op == LDC || in.Op == LDS:
+		out = fmt.Sprintf("%s r%d, [r%d+%d]", s, in.Dst, in.Src[0], in.Imm)
+	case in.Op == ST || in.Op == STS:
+		out = fmt.Sprintf("%s [r%d+%d], r%d", s, in.Src[0], in.Imm, in.Src[1])
+	case in.Op == BRA:
+		out = fmt.Sprintf("%s %d", s, in.Imm)
+	case in.Op == BRP:
+		out = fmt.Sprintf("%s r%d, %d", s, in.Src[0], in.Imm)
+	case in.Op == OFLDBEG || in.Op == OFLDEND:
+		out = fmt.Sprintf("%s blk%d", s, in.BlockID)
+	case in.Op.WritesDst():
+		out = fmt.Sprintf("%s r%d", s, in.Dst)
+		for i := 0; i < in.Op.SrcCount(); i++ {
+			out += fmt.Sprintf(", r%d", in.Src[i])
+		}
+		if in.Op.HasImm() {
+			out += fmt.Sprintf(", %d", in.Imm)
+		}
+	}
+	if in.Pred != RNone {
+		neg := ""
+		if in.PredNeg {
+			neg = "!"
+		}
+		out = fmt.Sprintf("@%sr%d %s", neg, in.Pred, out)
+	}
+	return out
+}
+
+// Validate checks structural invariants: operand registers in range, branch
+// targets within [0, codeLen), memory ops with an address register.
+func (in Instr) Validate(codeLen int) error {
+	checkReg := func(r Reg, what string) error {
+		if r == RNone {
+			return nil
+		}
+		if r < 0 || int(r) >= NumRegs {
+			return fmt.Errorf("%s register r%d out of range", what, r)
+		}
+		return nil
+	}
+	if in.Op.WritesDst() {
+		if in.Dst == RNone {
+			return fmt.Errorf("%v: missing destination", in.Op)
+		}
+		if err := checkReg(in.Dst, "dst"); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < in.Op.SrcCount(); i++ {
+		if in.Src[i] == RNone {
+			return fmt.Errorf("%v: missing source operand %d", in.Op, i)
+		}
+		if err := checkReg(in.Src[i], "src"); err != nil {
+			return err
+		}
+	}
+	if err := checkReg(in.Pred, "pred"); err != nil {
+		return err
+	}
+	if in.Op == BRA || in.Op == BRP {
+		if in.Imm < 0 || in.Imm >= int64(codeLen) {
+			return fmt.Errorf("%v: branch target %d outside code [0,%d)", in.Op, in.Imm, codeLen)
+		}
+	}
+	return nil
+}

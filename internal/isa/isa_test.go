@@ -1,0 +1,239 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalIntegerOps(t *testing.T) {
+	negThree := int64(-3)
+	negFive := uint64(1<<64 - 5)
+	cases := []struct {
+		op      Opcode
+		a, b, c uint64
+		imm     int64
+		want    uint64
+	}{
+		{op: MOV, a: 7, want: 7},
+		{op: MOVI, imm: -3, want: uint64(negThree)},
+		{op: ADD, a: 5, b: 9, want: 14},
+		{op: ADDI, a: 5, imm: -2, want: 3},
+		{op: SUB, a: 5, b: 9, want: uint64(negThree) - 1},
+		{op: MUL, a: 6, b: 7, want: 42},
+		{op: MULI, a: 6, imm: 4, want: 24},
+		{op: MAD, a: 2, b: 3, c: 10, want: 16},
+		{op: AND, a: 0b1100, b: 0b1010, want: 0b1000},
+		{op: ANDI, a: 0xff, imm: 0x0f, want: 0x0f},
+		{op: OR, a: 0b1100, b: 0b1010, want: 0b1110},
+		{op: XOR, a: 0b1100, b: 0b1010, want: 0b0110},
+		{op: SHL, a: 1, b: 4, want: 16},
+		{op: SHLI, a: 1, imm: 5, want: 32},
+		{op: SHR, a: 32, b: 2, want: 8},
+		{op: SHRI, a: 32, imm: 3, want: 4},
+		{op: MIN, a: negFive, b: 3, want: negFive},
+		{op: MAX, a: negFive, b: 3, want: 3},
+	}
+	for _, tc := range cases {
+		in := New(tc.op)
+		in.Imm = tc.imm
+		if got := Eval(in, tc.a, tc.b, tc.c); got != tc.want {
+			t.Errorf("%v(a=%d,b=%d,c=%d,imm=%d) = %d, want %d",
+				tc.op, tc.a, tc.b, tc.c, tc.imm, got, tc.want)
+		}
+	}
+}
+
+func TestEvalFloatOps(t *testing.T) {
+	f := func(x float32) uint64 { return FromF32(x) }
+	cases := []struct {
+		op      Opcode
+		a, b, c uint64
+		want    float32
+	}{
+		{op: FADD, a: f(1.5), b: f(2.25), want: 3.75},
+		{op: FSUB, a: f(1.5), b: f(2.25), want: -0.75},
+		{op: FMUL, a: f(1.5), b: f(2), want: 3},
+		{op: FDIV, a: f(3), b: f(2), want: 1.5},
+		{op: FMA, a: f(2), b: f(3), c: f(1), want: 7},
+		{op: FMIN, a: f(-1), b: f(2), want: -1},
+		{op: FMAX, a: f(-1), b: f(2), want: 2},
+		{op: FABS, a: f(-4.5), want: 4.5},
+		{op: FSQRT, a: f(9), want: 3},
+		{op: I2F, a: 7, want: 7},
+	}
+	for _, tc := range cases {
+		in := New(tc.op)
+		if got := F32(Eval(in, tc.a, tc.b, tc.c)); got != tc.want {
+			t.Errorf("%v = %v, want %v", tc.op, got, tc.want)
+		}
+	}
+	in := New(F2I)
+	if got := Eval(in, f(-3.0), 0, 0); int64(got) != -3 {
+		t.Errorf("F2I(-3.0) = %d, want -3", int64(got))
+	}
+}
+
+func TestEvalSetpSel(t *testing.T) {
+	in := New(SETP)
+	in.Cmp = CmpLT
+	if got := Eval(in, ^uint64(0), 0, 0); got != 1 {
+		t.Errorf("setp.lt(-1, 0) = %d, want 1", got)
+	}
+	in.Cmp = CmpGE
+	if got := Eval(in, ^uint64(0), 0, 0); got != 0 {
+		t.Errorf("setp.ge(-1, 0) = %d, want 0", got)
+	}
+	sel := New(SEL)
+	if got := Eval(sel, 11, 22, 1); got != 11 {
+		t.Errorf("sel(11,22,1) = %d, want 11", got)
+	}
+	if got := Eval(sel, 11, 22, 0); got != 22 {
+		t.Errorf("sel(11,22,0) = %d, want 22", got)
+	}
+}
+
+func TestCompareFloatOps(t *testing.T) {
+	a, b := FromF32(1.5), FromF32(2.5)
+	if !Compare(CmpFLT, a, b) || Compare(CmpFGT, a, b) {
+		t.Error("float comparisons inconsistent")
+	}
+	if !Compare(CmpFLE, a, a) || !Compare(CmpFGE, a, a) || !Compare(CmpFEQ, a, a) {
+		t.Error("float reflexive comparisons failed")
+	}
+}
+
+func TestEvalPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for LD")
+		}
+	}()
+	Eval(New(LD), 0, 0, 0)
+}
+
+func TestF32RoundTrip(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) {
+			return true
+		}
+		return F32(FromF32(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		add := New(ADD)
+		sub := New(SUB)
+		return Eval(sub, Eval(add, a, b, 0), b, 0) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		lo := Eval(New(MIN), a, b, 0)
+		hi := Eval(New(MAX), a, b, 0)
+		return (lo == a || lo == b) && (hi == a || hi == b) &&
+			int64(lo) <= int64(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := map[Opcode]Class{
+		ADD: ClassALU, SETP: ClassALU, MOV: ClassALU, FSQRT: ClassALU,
+		LD: ClassMem, ST: ClassMem,
+		LDS: ClassSmem, STS: ClassSmem,
+		BRA: ClassCtrl, BRP: ClassCtrl, BAR: ClassCtrl, EXIT: ClassCtrl,
+		OFLDBEG: ClassOffload, OFLDEND: ClassOffload,
+	}
+	for op, want := range cases {
+		if got := op.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestWritesDst(t *testing.T) {
+	writes := []Opcode{MOV, MOVI, ADD, LD, LDS, SETP, SEL, FMA, F2I}
+	noWrites := []Opcode{NOP, ST, STS, BRA, BRP, BAR, EXIT, OFLDBEG, OFLDEND}
+	for _, op := range writes {
+		if !op.WritesDst() {
+			t.Errorf("%v should write dst", op)
+		}
+	}
+	for _, op := range noWrites {
+		if op.WritesDst() {
+			t.Errorf("%v should not write dst", op)
+		}
+	}
+}
+
+func TestValidateCatchesMissingOperands(t *testing.T) {
+	in := New(ADD) // no dst/src set
+	if err := in.Validate(10); err == nil {
+		t.Fatal("expected error for missing operands")
+	}
+	in.Dst, in.Src[0], in.Src[1] = 1, 2, 3
+	if err := in.Validate(10); err != nil {
+		t.Fatalf("valid add rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesBadBranch(t *testing.T) {
+	in := New(BRA)
+	in.Imm = 100
+	if err := in.Validate(10); err == nil {
+		t.Fatal("expected error for out-of-range branch")
+	}
+	in.Imm = 9
+	if err := in.Validate(10); err != nil {
+		t.Fatalf("valid branch rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesBadRegister(t *testing.T) {
+	in := New(MOV)
+	in.Dst, in.Src[0] = Reg(NumRegs), 0
+	if err := in.Validate(10); err == nil {
+		t.Fatal("expected error for out-of-range register")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := New(LD)
+	in.Dst, in.Src[0], in.Imm = 5, 9, 16
+	if got := in.String(); got != "ld r5, [r9+16]" {
+		t.Errorf("String() = %q", got)
+	}
+	st := New(ST)
+	st.Src[0], st.Src[1], st.Imm = 10, 2, 0
+	if got := st.String(); got != "st [r10+0], r2" {
+		t.Errorf("String() = %q", got)
+	}
+	p := New(ADD)
+	p.Dst, p.Src[0], p.Src[1] = 1, 2, 3
+	p.Pred, p.PredNeg = 7, true
+	if got := p.String(); got != "@!r7 add r1, r2, r3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSrcCountConsistency(t *testing.T) {
+	// Property: every opcode's SrcCount is within [0,3] and HasImm/SrcCount
+	// never both claim slot conflicts.
+	for op := Opcode(0); op < numOpcodes; op++ {
+		n := op.SrcCount()
+		if n < 0 || n > 3 {
+			t.Errorf("%v SrcCount = %d", op, n)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"ndpgpu/internal/isa"
+)
+
+func buildVadd(t *testing.T) *Kernel {
+	t.Helper()
+	b := NewBuilder()
+	// addr = base + 4*gtid for three arrays in params r4,r5,r6.
+	b.OpImm(isa.SHLI, 16, RegGTID, 2)
+	b.Op3(isa.ADD, 17, RegParam0, 16)
+	b.Op3(isa.ADD, 18, RegParam0+1, 16)
+	b.Op3(isa.ADD, 19, RegParam0+2, 16)
+	b.Ld(20, 17, 0)
+	b.Ld(21, 18, 0)
+	b.Op3(isa.FADD, 22, 20, 21)
+	b.St(19, 0, 22)
+	b.Exit()
+	k, err := b.Build("vadd", 4, 64, 0x1000, 0x2000, 0x3000)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return k
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	k := buildVadd(t)
+	if k.Threads() != 256 {
+		t.Fatalf("Threads = %d, want 256", k.Threads())
+	}
+	if k.RegsUsed != 23 {
+		t.Fatalf("RegsUsed = %d, want 23", k.RegsUsed)
+	}
+	if len(k.Params) != 3 {
+		t.Fatalf("Params = %d, want 3", len(k.Params))
+	}
+}
+
+func TestForwardLabel(t *testing.T) {
+	b := NewBuilder()
+	done := b.NewLabel()
+	b.MovI(16, 0)
+	b.Bra(done)
+	b.MovI(16, 1) // skipped
+	b.Bind(done)
+	b.Exit()
+	k, err := b.Build("fwd", 1, 32)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if k.Code[1].Imm != 3 {
+		t.Fatalf("branch target = %d, want 3", k.Code[1].Imm)
+	}
+}
+
+func TestBackwardLabelLoop(t *testing.T) {
+	b := NewBuilder()
+	b.MovI(16, 10)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.OpImm(isa.ADDI, 16, 16, -1)
+	b.Setp(isa.CmpGT, 17, 16, RegGTID) // dummy cond
+	b.Brp(17, top)
+	b.Exit()
+	k, err := b.Build("loop", 1, 32)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if k.Code[3].Imm != 1 {
+		t.Fatalf("loop target = %d, want 1", k.Code[3].Imm)
+	}
+}
+
+func TestUnboundLabelRejected(t *testing.T) {
+	b := NewBuilder()
+	l := b.NewLabel()
+	b.Bra(l)
+	b.Exit()
+	if _, err := b.Build("bad", 1, 32); err == nil {
+		t.Fatal("expected unbound-label error")
+	}
+}
+
+func TestEmptyKernelRejected(t *testing.T) {
+	k := &Kernel{Name: "empty", GridDim: 1, BlockDim: 32}
+	if err := k.Validate(); err == nil {
+		t.Fatal("expected error for empty code")
+	}
+}
+
+func TestMissingExitRejected(t *testing.T) {
+	b := NewBuilder()
+	b.MovI(16, 1)
+	if _, err := b.Build("noexit", 1, 32); err == nil {
+		t.Fatal("expected error for missing exit")
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	b := NewBuilder()
+	b.Exit()
+	if _, err := b.Build("geo", 0, 32); err == nil {
+		t.Fatal("expected error for zero grid")
+	}
+}
+
+func TestPredicate(t *testing.T) {
+	b := NewBuilder()
+	pc := b.MovI(16, 1)
+	b.Predicate(pc, 17, true)
+	b.Exit()
+	k, err := b.Build("pred", 1, 32)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if k.Code[0].Pred != 17 || !k.Code[0].PredNeg {
+		t.Fatalf("predicate not applied: %+v", k.Code[0])
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	k := buildVadd(t)
+	dis := k.Disassemble()
+	if !strings.Contains(dis, "fadd r22, r20, r21") {
+		t.Errorf("disassembly missing fadd: %s", dis)
+	}
+	if !strings.Contains(dis, "exit") {
+		t.Errorf("disassembly missing exit: %s", dis)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder()
+	b.MovI(16, 1) // no exit
+	b.MustBuild("bad", 1, 32)
+}
+
+func TestSmemInstructions(t *testing.T) {
+	b := NewBuilder()
+	b.Sts(16, 0, 17)
+	b.Bar()
+	b.Lds(18, 16, 4)
+	b.Exit()
+	k, err := b.Build("smem", 1, 32)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if k.Code[0].Op != isa.STS || k.Code[1].Op != isa.BAR || k.Code[2].Op != isa.LDS {
+		t.Fatal("smem ops not emitted correctly")
+	}
+}

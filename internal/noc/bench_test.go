@@ -1,0 +1,25 @@
+package noc
+
+import (
+	"testing"
+
+	"ndpgpu/internal/config"
+)
+
+func BenchmarkHypercubeSend(b *testing.B) {
+	f := NewFabric(config.Default(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SendHMCToHMC(int64(i), i%8, (i+5)%8, 128, nil)
+		f.HMCInbox((i + 5) % 8).Pop(1 << 62)
+	}
+}
+
+func BenchmarkGPULinkSend(b *testing.B) {
+	f := NewFabric(config.Default(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SendGPUToHMC(int64(i), i%8, 16, nil)
+		f.HMCInbox(i % 8).Pop(1 << 62)
+	}
+}

@@ -1,0 +1,282 @@
+// Package noc models the system interconnect: the GPU's off-chip links (one
+// bidirectional 20 GB/s link per HMC, Table 2) and the inter-HMC memory
+// network (a 3D hypercube over 8 stacks using 3 of each HMC's links, §5).
+//
+// Links serialize packets at link bandwidth and deliver after a per-hop
+// router latency; multi-hop memory-network packets are forwarded
+// store-and-forward with dimension-order routing. Inter-HMC traffic never
+// touches the GPU links — that asymmetry is the core of the paper's
+// bandwidth argument.
+package noc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/stats"
+	"ndpgpu/internal/timing"
+)
+
+// Link is one direction of one physical link.
+type Link struct {
+	psPerByte float64   // serialization cost
+	latPS     timing.PS // propagation + router latency
+	busyUntil timing.PS
+	Bytes     int64 // total bytes carried
+}
+
+func newLink(gbps float64, latPS timing.PS) *Link {
+	// gbps GB/s = gbps bytes/ns = gbps/1000 bytes/ps.
+	return &Link{psPerByte: 1000.0 / gbps, latPS: latPS}
+}
+
+// Send schedules size bytes onto the link at or after now, returning the
+// arrival time at the far end.
+func (l *Link) Send(now timing.PS, size int) timing.PS {
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := timing.PS(float64(size) * l.psPerByte)
+	l.busyUntil = start + ser
+	l.Bytes += int64(size)
+	return start + ser + l.latPS
+}
+
+// BusyUntil returns the time the link next becomes free.
+func (l *Link) BusyUntil() timing.PS { return l.busyUntil }
+
+// Delivery is a message sitting in an inbox with its arrival time.
+type Delivery struct {
+	At  timing.PS
+	Msg any
+	seq int64
+}
+
+type deliveryHeap []Delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(Delivery)) }
+func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Inbox is a time-ordered delivery queue at one endpoint.
+type Inbox struct {
+	h   deliveryHeap
+	seq int64
+}
+
+// Put inserts a message arriving at time at.
+func (in *Inbox) Put(at timing.PS, msg any) {
+	in.seq++
+	heap.Push(&in.h, Delivery{At: at, Msg: msg, seq: in.seq})
+}
+
+// Pop removes and returns the earliest message whose arrival time is <= now.
+func (in *Inbox) Pop(now timing.PS) (any, bool) {
+	if len(in.h) == 0 || in.h[0].At > now {
+		return nil, false
+	}
+	return heap.Pop(&in.h).(Delivery).Msg, true
+}
+
+// Len returns the number of queued messages (including not-yet-arrived).
+func (in *Inbox) Len() int { return len(in.h) }
+
+// Fabric wires the GPU and the HMCs together.
+type Fabric struct {
+	numHMCs int
+	dims    int
+	ring    bool
+
+	gpuToHMC []*Link // index: hmc
+	hmcToGPU []*Link
+	// mesh[src][dim]: link from src to src^(1<<dim).
+	mesh [][]*Link
+
+	hmcInbox []Inbox
+	gpuInbox Inbox
+
+	st     *stats.Stats
+	tracer Tracer
+}
+
+// Tracer observes every packet entering the fabric; see package trace.
+type Tracer func(now timing.PS, route string, size int, msg any)
+
+// NewFabric builds the fabric for the configuration. st may be nil.
+func NewFabric(cfg config.Config, st *stats.Stats) *Fabric {
+	n := cfg.NumHMCs
+	ring := cfg.HMC.NetTopology == "ring"
+	dims := 0
+	if ring {
+		dims = 2 // clockwise and counter-clockwise links
+	} else {
+		for 1<<dims < n {
+			dims++
+		}
+		if dims > cfg.HMC.NetLinksPerHMC {
+			panic(fmt.Sprintf("noc: hypercube over %d HMCs needs %d links/HMC, have %d",
+				n, dims, cfg.HMC.NetLinksPerHMC))
+		}
+	}
+	lat := timing.PS(cfg.HMC.RouterLatPS)
+	f := &Fabric{
+		numHMCs:  n,
+		dims:     dims,
+		ring:     ring,
+		gpuToHMC: make([]*Link, n),
+		hmcToGPU: make([]*Link, n),
+		mesh:     make([][]*Link, n),
+		hmcInbox: make([]Inbox, n),
+		st:       st,
+	}
+	for i := 0; i < n; i++ {
+		f.gpuToHMC[i] = newLink(cfg.GPU.LinkGBps, lat)
+		f.hmcToGPU[i] = newLink(cfg.GPU.LinkGBps, lat)
+		f.mesh[i] = make([]*Link, dims)
+		for d := 0; d < dims; d++ {
+			f.mesh[i][d] = newLink(cfg.HMC.NetLinkGBps, lat)
+		}
+	}
+	return f
+}
+
+// NumHMCs returns the HMC count.
+func (f *Fabric) NumHMCs() int { return f.numHMCs }
+
+// SetTracer installs a packet observer (nil disables tracing).
+func (f *Fabric) SetTracer(t Tracer) { f.tracer = t }
+
+func (f *Fabric) trace(now timing.PS, routeFmt string, a, b, size int, msg any) {
+	if f.tracer == nil {
+		return
+	}
+	f.tracer(now, fmt.Sprintf(routeFmt, a, b), size, msg)
+}
+
+func (f *Fabric) addTraffic(c stats.TrafficClass, n int64) {
+	if f.st != nil {
+		f.st.AddTraffic(c, n)
+	}
+}
+
+// SendGPUToHMC ships a packet from the GPU to HMC dst.
+func (f *Fabric) SendGPUToHMC(now timing.PS, dst, size int, msg any) timing.PS {
+	f.trace(now, "gpu->hmc%d%.0d", dst, 0, size, msg)
+	at := f.gpuToHMC[dst].Send(now, size)
+	f.addTraffic(stats.GPULink, int64(size))
+	f.hmcInbox[dst].Put(at, msg)
+	return at
+}
+
+// SendHMCToGPU ships a packet from HMC src to the GPU.
+func (f *Fabric) SendHMCToGPU(now timing.PS, src, size int, msg any) timing.PS {
+	f.trace(now, "hmc%d->gpu%.0d", src, 0, size, msg)
+	at := f.hmcToGPU[src].Send(now, size)
+	f.addTraffic(stats.GPULink, int64(size))
+	f.gpuInbox.Put(at, msg)
+	return at
+}
+
+// SendHMCToHMC ships a packet between stacks over the memory network using
+// dimension-order routing with store-and-forward per hop. src == dst is
+// legal and models logic-layer-internal movement (no link traversal).
+func (f *Fabric) SendHMCToHMC(now timing.PS, src, dst, size int, msg any) timing.PS {
+	f.trace(now, "hmc%d->hmc%d", src, dst, size, msg)
+	if src == dst {
+		f.hmcInbox[dst].Put(now, msg)
+		return now
+	}
+	t := now
+	cur := src
+	for cur != dst {
+		var d, next int
+		if f.ring {
+			// Shortest direction around the ring: mesh[i][0] goes
+			// clockwise to i+1, mesh[i][1] counter-clockwise to i-1.
+			cw := (dst - cur + f.numHMCs) % f.numHMCs
+			if cw <= f.numHMCs-cw {
+				d, next = 0, (cur+1)%f.numHMCs
+			} else {
+				d, next = 1, (cur-1+f.numHMCs)%f.numHMCs
+			}
+		} else {
+			diff := uint(cur ^ dst)
+			for diff&1 == 0 {
+				diff >>= 1
+				d++
+			}
+			next = cur ^ (1 << d)
+		}
+		link := f.mesh[cur][d]
+		t = link.Send(t, size) // arrival at next hop
+		f.addTraffic(stats.MemNet, int64(size))
+		cur = next
+	}
+	f.hmcInbox[dst].Put(t, msg)
+	return t
+}
+
+// Hops returns the number of memory-network hops between two stacks.
+func (f *Fabric) Hops(src, dst int) int {
+	if f.ring {
+		cw := (dst - src + f.numHMCs) % f.numHMCs
+		if ccw := f.numHMCs - cw; ccw < cw {
+			return ccw
+		}
+		return cw
+	}
+	h := 0
+	for x := src ^ dst; x != 0; x >>= 1 {
+		h += x & 1
+	}
+	return h
+}
+
+// HMCInbox returns HMC i's delivery queue.
+func (f *Fabric) HMCInbox(i int) *Inbox { return &f.hmcInbox[i] }
+
+// GPUInbox returns the GPU-side delivery queue.
+func (f *Fabric) GPUInbox() *Inbox { return &f.gpuInbox }
+
+// GPULinkBytes returns total bytes carried on the GPU links (both
+// directions).
+func (f *Fabric) GPULinkBytes() int64 {
+	var n int64
+	for i := 0; i < f.numHMCs; i++ {
+		n += f.gpuToHMC[i].Bytes + f.hmcToGPU[i].Bytes
+	}
+	return n
+}
+
+// MeshBytes returns total bytes carried on memory-network links.
+func (f *Fabric) MeshBytes() int64 {
+	var n int64
+	for _, ls := range f.mesh {
+		for _, l := range ls {
+			n += l.Bytes
+		}
+	}
+	return n
+}
+
+// Quiesced reports whether all inboxes are empty.
+func (f *Fabric) Quiesced() bool {
+	if f.gpuInbox.Len() > 0 {
+		return false
+	}
+	for i := range f.hmcInbox {
+		if f.hmcInbox[i].Len() > 0 {
+			return false
+		}
+	}
+	return true
+}

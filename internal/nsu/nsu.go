@@ -1,0 +1,475 @@
+// Package nsu implements the Near-data processing SIMD Unit (§4.5): a
+// simple in-order SIMT core on the logic layer of each memory stack. It has
+// no MMU, no TLB, and no data cache — loads pop the read-data buffer filled
+// by RDF responses, stores pop the write-address buffer filled by WTA
+// packets, and all addresses it touches are physical, provided by the GPU.
+package nsu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ndpgpu/internal/analyzer"
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/noc"
+	"ndpgpu/internal/stats"
+	"ndpgpu/internal/timing"
+	"ndpgpu/internal/vm"
+)
+
+// bufKey identifies one read-data or write-address buffer entry.
+type bufKey struct {
+	id  core.OffloadID
+	seq int
+}
+
+// rdEntry accumulates RDF responses for one load instruction.
+type rdEntry struct {
+	mask uint32
+	data [core.WarpWidth]uint32
+	pkts int
+}
+
+// wtEntry accumulates WTA packets for one store instruction.
+type wtEntry struct {
+	accesses []core.LineAccess
+	total    int
+}
+
+// nsuWarp is one warp slot.
+type nsuWarp struct {
+	active  bool
+	id      core.OffloadID
+	block   *analyzer.Block
+	mask    uint32
+	pc      int
+	seqLD   int
+	seqST   int
+	pending int // unacknowledged DRAM writes
+	readyAt timing.PS
+	regs    map[isa.Reg]*[core.WarpWidth]uint64
+	// written tracks which lanes each register was produced for, so the
+	// acknowledgment ships only meaningful values.
+	written map[isa.Reg]uint32
+}
+
+func (w *nsuWarp) reg(r isa.Reg) *[core.WarpWidth]uint64 {
+	v, ok := w.regs[r]
+	if !ok {
+		v = new([core.WarpWidth]uint64)
+		w.regs[r] = v
+	}
+	return v
+}
+
+// CreditReturner receives buffer credits as NSU entries drain (§4.3); the
+// GPU's buffer manager implements it.
+type CreditReturner interface {
+	Return(target int, kind core.BufferKind, n int)
+}
+
+// WriteSubmitter accepts a write packet destined for a local vault; the
+// owning HMC implements it.
+type WriteSubmitter interface {
+	SubmitNSUWrite(p *core.WritePacket, now timing.PS)
+}
+
+// NSU is one near-data SIMD unit.
+type NSU struct {
+	ID  int
+	cfg config.Config
+	mem *vm.System
+	fab *noc.Fabric
+	st  *stats.Stats
+
+	credits CreditReturner
+	local   WriteSubmitter
+
+	blocks map[int]*analyzer.Block
+	warps  []nsuWarp
+	cmdQ   []*core.CmdPacket
+	rd     map[bufKey]*rdEntry
+	wt     map[bufKey]*wtEntry
+
+	period     timing.PS
+	icodeSeen  map[int]bool // block IDs whose code this NSU has executed
+	icodeBytes int64
+}
+
+// New builds an NSU for stack id. The program's blocks provide the NSU code
+// image (appended to the workload executable per §3.2).
+func New(id int, cfg config.Config, prog *analyzer.Program, mem *vm.System,
+	fab *noc.Fabric, st *stats.Stats, credits CreditReturner) *NSU {
+	n := &NSU{
+		ID:        id,
+		cfg:       cfg,
+		mem:       mem,
+		fab:       fab,
+		st:        st,
+		credits:   credits,
+		blocks:    make(map[int]*analyzer.Block),
+		warps:     make([]nsuWarp, cfg.NSU.NumWarps),
+		rd:        make(map[bufKey]*rdEntry),
+		wt:        make(map[bufKey]*wtEntry),
+		period:    timing.PeriodFromMHz(cfg.NSU.ClockMHz),
+		icodeSeen: make(map[int]bool),
+	}
+	for _, b := range prog.Blocks {
+		n.blocks[b.ID] = b
+	}
+	return n
+}
+
+// SetLocalWriter wires the owning HMC's vault path.
+func (n *NSU) SetLocalWriter(w WriteSubmitter) { n.local = w }
+
+// Deliver accepts a protocol packet routed to this NSU by the HMC logic
+// layer.
+func (n *NSU) Deliver(msg any, now timing.PS) {
+	switch m := msg.(type) {
+	case *core.CmdPacket:
+		n.cmdQ = append(n.cmdQ, m)
+	case *core.RDFResp:
+		k := bufKey{id: m.ID, seq: m.Seq}
+		e, ok := n.rd[k]
+		if !ok {
+			e = &rdEntry{}
+			n.rd[k] = e
+		}
+		e.mask |= m.Mask
+		e.pkts++
+		for t := 0; t < core.WarpWidth; t++ {
+			if m.Mask&(1<<uint(t)) != 0 {
+				e.data[t] = m.Data[t]
+			}
+		}
+	case *core.RDFRef:
+		// §7.1 extension: the line is in this NSU's read-only cache; build
+		// the words locally instead of receiving them over the link.
+		k := bufKey{id: m.ID, seq: m.Seq}
+		e, ok := n.rd[k]
+		if !ok {
+			e = &rdEntry{}
+			n.rd[k] = e
+		}
+		e.mask |= m.Access.Mask
+		e.pkts++
+		for t := 0; t < core.WarpWidth; t++ {
+			if m.Access.Mask&(1<<uint(t)) != 0 {
+				addr := m.Access.LineAddr + uint64(m.Access.Offsets[t])*core.WordBytes
+				e.data[t] = n.mem.Read32(addr)
+			}
+		}
+	case *core.WTAPacket:
+		k := bufKey{id: m.ID, seq: m.Seq}
+		e, ok := n.wt[k]
+		if !ok {
+			e = &wtEntry{}
+			n.wt[k] = e
+		}
+		e.accesses = append(e.accesses, m.Access)
+		e.total = m.TotalPkts
+	case *core.WriteAck:
+		for i := range n.warps {
+			w := &n.warps[i]
+			if w.active && w.id == m.ID {
+				w.pending--
+				return
+			}
+		}
+		panic("nsu: write ack for unknown warp")
+	default:
+		panic(fmt.Sprintf("nsu: unexpected message %T", msg))
+	}
+}
+
+// Tick advances the NSU by one of its clock cycles.
+func (n *NSU) Tick(now timing.PS) {
+	// Spawn warps for queued offload commands.
+	for len(n.cmdQ) > 0 {
+		slot := -1
+		for i := range n.warps {
+			if !n.warps[i].active {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			break
+		}
+		cmd := n.cmdQ[0]
+		n.cmdQ = n.cmdQ[1:]
+		n.spawn(slot, cmd)
+		// The command has left the offload command buffer: its credit goes
+		// back to the GPU's buffer manager (the warp slot, not the buffer
+		// entry, is what the command occupies from now on).
+		n.credits.Return(n.ID, core.CmdBuffer, 1)
+	}
+
+	occupied := 0
+	issued := 0
+	for i := range n.warps {
+		w := &n.warps[i]
+		if !w.active {
+			continue
+		}
+		occupied++
+		if issued >= n.cfg.NSU.IssueWidth || w.readyAt > now {
+			continue
+		}
+		if n.step(w, now) {
+			// Temporal SIMT (§4.5): a logical warp instruction occupies the
+			// physical datapath for ceil(active/phys) slots.
+			issued += n.simtSlots(w.mask)
+		}
+	}
+	n.st.NSUWarpCycleSum += int64(occupied)
+	if occupied > 0 {
+		n.st.NSUActiveCycles++
+	}
+}
+
+// simtSlots returns the issue slots one warp instruction occupies given the
+// physical SIMD width.
+func (n *NSU) simtSlots(mask uint32) int {
+	phys := n.cfg.NSU.PhysSIMDWidth
+	active := bits.OnesCount32(mask)
+	if active == 0 {
+		return 1
+	}
+	return (active + phys - 1) / phys
+}
+
+func (n *NSU) spawn(slot int, cmd *core.CmdPacket) {
+	blk, ok := n.blocks[cmd.BlockID]
+	if !ok {
+		panic(fmt.Sprintf("nsu: unknown block %d", cmd.BlockID))
+	}
+	w := &n.warps[slot]
+	*w = nsuWarp{
+		active:  true,
+		id:      cmd.ID,
+		block:   blk,
+		mask:    cmd.Mask,
+		regs:    make(map[isa.Reg]*[core.WarpWidth]uint64),
+		written: make(map[isa.Reg]uint32),
+	}
+	for _, rv := range cmd.In.Regs {
+		*w.reg(isa.Reg(rv.Reg)) = rv.Vals
+	}
+	n.st.NSUWarpsSpawned++
+	if !n.icodeSeen[blk.ID] {
+		n.icodeSeen[blk.ID] = true
+		n.icodeBytes += int64(len(blk.NSUCode) * isa.InstrBytes)
+		n.st.NSUICodeBytes[n.ID] = n.icodeBytes
+	}
+}
+
+// effMask applies the instruction predicate on the NSU side (it has the
+// predicate registers, either computed locally or transferred in).
+func (w *nsuWarp) effMask(in isa.Instr) uint32 {
+	if in.Pred == isa.RNone {
+		return w.mask
+	}
+	p := w.reg(in.Pred)
+	var m uint32
+	for t := 0; t < core.WarpWidth; t++ {
+		if w.mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		on := p[t] != 0
+		if on != in.PredNeg {
+			m |= 1 << uint(t)
+		}
+	}
+	return m
+}
+
+// step executes one instruction of the warp; returns true if it issued.
+func (n *NSU) step(w *nsuWarp, now timing.PS) bool {
+	in := w.block.NSUCode[w.pc]
+	switch in.Op {
+	case isa.OFLDBEG:
+		w.pc++
+		n.st.NSUInstrs++
+		return true
+
+	case isa.LD:
+		need := w.effMask(in)
+		if need == 0 {
+			// Fully predicated off: the GPU sent no packets; drop the
+			// reserved entry and move on.
+			n.credits.Return(n.ID, core.ReadDataBuffer, 1)
+			w.seqLD++
+			w.pc++
+			n.st.NSUInstrs++
+			return true
+		}
+		k := bufKey{id: w.id, seq: w.seqLD}
+		e, ok := n.rd[k]
+		if !ok || e.mask&need != need {
+			n.st.NSUStallRDWait++
+			return false // stall until all RDF responses arrive
+		}
+		dst := w.reg(in.Dst)
+		for t := 0; t < core.WarpWidth; t++ {
+			if need&(1<<uint(t)) != 0 {
+				dst[t] = uint64(e.data[t])
+			}
+		}
+		w.written[in.Dst] |= need
+		delete(n.rd, k)
+		n.credits.Return(n.ID, core.ReadDataBuffer, 1)
+		w.seqLD++
+		w.pc++
+		w.readyAt = now + n.period
+		n.st.NSUInstrs++
+		return true
+
+	case isa.ST:
+		need := w.effMask(in)
+		if need == 0 {
+			n.credits.Return(n.ID, core.WriteAddrBuffer, 1)
+			w.seqST++
+			w.pc++
+			n.st.NSUInstrs++
+			return true
+		}
+		k := bufKey{id: w.id, seq: w.seqST}
+		e, ok := n.wt[k]
+		if !ok || len(e.accesses) < e.total || e.total == 0 {
+			return false // stall until all write addresses arrive
+		}
+		val := w.reg(in.Src[1])
+		for _, acc := range e.accesses {
+			wp := &core.WritePacket{ID: w.id, Seq: w.seqST, Source: n.ID, Access: acc}
+			for t := 0; t < core.WarpWidth; t++ {
+				if acc.Mask&(1<<uint(t)) != 0 {
+					wp.Data[t] = uint32(val[t])
+					// Functional write happens at NSU store execution.
+					addr := acc.LineAddr + uint64(acc.Offsets[t])*core.WordBytes
+					n.mem.Write32(addr, wp.Data[t])
+				}
+			}
+			w.pending++
+			home := n.mem.HMCOf(acc.LineAddr)
+			if home == n.ID {
+				n.local.SubmitNSUWrite(wp, now)
+			} else {
+				n.fab.SendHMCToHMC(now, n.ID, home, wp.Size(), wp)
+			}
+		}
+		delete(n.wt, k)
+		n.credits.Return(n.ID, core.WriteAddrBuffer, 1)
+		w.seqST++
+		w.pc++
+		w.readyAt = now + n.period
+		n.st.NSUInstrs++
+		return true
+
+	case isa.LDC:
+		// Constant-cache load: the NSU's 4 KB constant cache (Table 2)
+		// serves it locally with no protocol traffic.
+		m := w.effMask(in)
+		dst := w.reg(in.Dst)
+		addr := w.reg(in.Src[0])
+		for t := 0; t < core.WarpWidth; t++ {
+			if m&(1<<uint(t)) != 0 {
+				dst[t] = uint64(n.mem.Read32(addr[t] + uint64(in.Imm)))
+			}
+		}
+		w.written[in.Dst] |= m
+		w.readyAt = now + n.period
+		w.pc++
+		n.st.NSUInstrs++
+		return true
+
+	case isa.OFLDEND:
+		if w.pending > 0 {
+			n.st.NSUStallWrAck++
+			return false // wait for all DRAM write acknowledgments
+		}
+		ack := &core.AckPacket{ID: w.id, Mask: w.mask}
+		for _, r := range w.block.RegsOut {
+			m := w.written[r]
+			if m == 0 {
+				continue // never produced (fully predicated off): nothing to send
+			}
+			rv := core.RegVals{Reg: int16(r), Mask: m, Vals: *w.reg(r)}
+			ack.Out.Regs = append(ack.Out.Regs, rv)
+		}
+		n.fab.SendHMCToGPU(now, n.ID, ack.Size(), ack)
+		w.active = false
+		n.st.NSUInstrs++
+		return true
+
+	default:
+		if !in.Op.IsALU() {
+			panic(fmt.Sprintf("nsu: illegal opcode %v in NSU code", in.Op))
+		}
+		m := w.effMask(in)
+		var a, b, c *[core.WarpWidth]uint64
+		if in.Src[0] != isa.RNone {
+			a = w.reg(in.Src[0])
+		}
+		if in.Src[1] != isa.RNone {
+			b = w.reg(in.Src[1])
+		}
+		if in.Src[2] != isa.RNone {
+			c = w.reg(in.Src[2])
+		}
+		dst := w.reg(in.Dst)
+		for t := 0; t < core.WarpWidth; t++ {
+			if m&(1<<uint(t)) == 0 {
+				continue
+			}
+			var av, bv, cv uint64
+			if a != nil {
+				av = a[t]
+			}
+			if b != nil {
+				bv = b[t]
+			}
+			if c != nil {
+				cv = c[t]
+			}
+			dst[t] = isa.Eval(in, av, bv, cv)
+		}
+		w.written[in.Dst] |= m
+		w.readyAt = now + timing.PS(n.cfg.NSU.ALULatency)*n.period
+		w.pc++
+		n.st.NSUInstrs++
+		n.st.IssuedThreadOps += int64(bits.OnesCount32(m))
+		return true
+	}
+}
+
+// Busy reports whether the NSU has live warps, queued commands, or buffer
+// entries awaiting consumption.
+func (n *NSU) Busy() bool {
+	if len(n.cmdQ) > 0 || len(n.rd) > 0 || len(n.wt) > 0 {
+		return true
+	}
+	for i := range n.warps {
+		if n.warps[i].active {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupied returns the number of active warp slots (Figure 11 metric).
+func (n *NSU) Occupied() int {
+	c := 0
+	for i := range n.warps {
+		if n.warps[i].active {
+			c++
+		}
+	}
+	return c
+}
+
+// ICodeBytes returns the distinct NSU code footprint executed so far.
+func (n *NSU) ICodeBytes() int64 { return n.icodeBytes }

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Speedups", "workload", "dyn", "cache")
+	t.AddFloats("KMN", 1.267, 1.267)
+	t.AddFloats("STN", 0.62, 1.02)
+	t.AddRow("note", "x")
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Speedups", "workload", "KMN", "1.267", "0.620"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "workload,dyn,cache" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "KMN,1.267,1.267" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+	// Short rows pad with empty cells.
+	if lines[3] != "note,x," {
+		t.Fatalf("padded row = %q", lines[3])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| workload | dyn | cache |") {
+		t.Fatalf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Fatalf("markdown separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "**Speedups**") {
+		t.Fatalf("markdown title missing:\n%s", out)
+	}
+}
+
+func TestRowsCount(t *testing.T) {
+	if got := sample().Rows(); got != 3 {
+		t.Fatalf("rows = %d", got)
+	}
+}
+
+func TestOverlongRowTruncated(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("1", "2", "3", "4")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "3") {
+		t.Fatal("overlong cells should be dropped")
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+// runFull runs a Table 1 workload on the full Table 2 machine.
+func runFull(t *testing.T, abbr string, mode Mode) (*Result, *Machine) {
+	t.Helper()
+	cfg := config.Default()
+	mem := vm.New(cfg)
+	w, err := workloads.Build(abbr, mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Launch(cfg, w.Kernel, mem, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("%s/%s: %v", abbr, mode.Name, err)
+	}
+	return res, m
+}
+
+// TestCacheAwareRescuesSTN pins the §7.3 headline: the stencil has good
+// cache locality, the dynamic controller alone degrades it, and the
+// cache-locality filter suppresses its blocks back to baseline parity.
+func TestCacheAwareRescuesSTN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine regression")
+	}
+	base, _ := runFull(t, "STN", Baseline)
+	dyn, _ := runFull(t, "STN", DynNDP)
+	dc, m := runFull(t, "STN", DynCache)
+
+	if float64(dyn.TimePS) < 1.2*float64(base.TimePS) {
+		t.Fatalf("STN under Dyn should degrade clearly: base=%d dyn=%d", base.TimePS, dyn.TimePS)
+	}
+	if float64(dc.TimePS) > 1.1*float64(base.TimePS) {
+		t.Fatalf("cache filter failed to rescue STN: base=%d dyncache=%d", base.TimePS, dc.TimePS)
+	}
+	ca := m.Dec.(*core.CacheAware)
+	if ca.Suppressed == 0 {
+		t.Fatal("no suppressions recorded for STN")
+	}
+}
+
+// TestNDPWinsBFSAndKMN pins the winners: the divergent gather (BFS) and the
+// bandwidth-bound k-means keep their NDP gains under the full mechanism.
+func TestNDPWinsBFSAndKMN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine regression")
+	}
+	for _, abbr := range []string{"BFS", "KMN"} {
+		base, _ := runFull(t, abbr, Baseline)
+		dc, _ := runFull(t, abbr, DynCache)
+		if dc.TimePS >= base.TimePS {
+			t.Fatalf("%s: NDP(Dyn)_Cache (%d ps) did not beat baseline (%d ps)",
+				abbr, dc.TimePS, base.TimePS)
+		}
+	}
+}
+
+// TestNaiveNDPDegradesSuiteGeomean pins the §6 result: offloading everything
+// loses on average across the suite (we check a fast 4-workload subset).
+func TestNaiveNDPDegradesSuiteGeomean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine regression")
+	}
+	prod := 1.0
+	n := 0
+	for _, abbr := range []string{"STN", "BICG", "BPROP", "MINIFE"} {
+		base, _ := runFull(t, abbr, Baseline)
+		naive, _ := runFull(t, abbr, NaiveNDP)
+		prod *= float64(base.TimePS) / float64(naive.TimePS)
+		n++
+	}
+	if prod >= 1 {
+		t.Fatalf("naive NDP should degrade the memory-intensive subset (geomean product %v)", prod)
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/interp"
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/vm"
+)
+
+// randomKernel builds a random straight-line kernel over two input arrays
+// and one output array. Every generated program is race-free (each thread
+// writes only its own output slots) and in-bounds, so baseline and
+// partitioned execution must produce bit-identical memory.
+func randomKernel(rng *rand.Rand, mem *vm.System, n int) (*kernel.Kernel, uint64, int) {
+	a := mem.Alloc(4 * n)
+	b := mem.Alloc(4 * n)
+	out := mem.Alloc(4 * n * 4) // up to 4 output slots per thread
+	for i := 0; i < n; i++ {
+		mem.WriteF32(a+uint64(4*i), rng.Float32()*16-8)
+		mem.WriteF32(b+uint64(4*i), rng.Float32()*16-8)
+	}
+
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2) // element offset
+	kb.Op3(isa.ADD, 17, kernel.RegParam0, 16)
+	kb.Op3(isa.ADD, 18, kernel.RegParam0+1, 16)
+	kb.OpImm(isa.SHLI, 19, kernel.RegGTID, 4) // 4 slots x 4 B
+	kb.Op3(isa.ADD, 19, kernel.RegParam0+2, 19)
+
+	// A predicate from the thread id (warp-divergent but GPU-computable).
+	kb.OpImm(isa.ANDI, 20, kernel.RegGTID, 1)
+
+	// Live value registers start with two loads.
+	live := []isa.Reg{24, 25}
+	kb.Ld(24, 17, 0)
+	kb.Ld(25, 18, 0)
+	next := isa.Reg(26)
+	stores := 0
+	aluOps := []isa.Opcode{isa.FADD, isa.FSUB, isa.FMUL, isa.ADD, isa.XOR, isa.MIN, isa.MAX}
+
+	steps := 4 + rng.Intn(10)
+	for s := 0; s < steps; s++ {
+		switch rng.Intn(5) {
+		case 0, 1: // ALU on two live values
+			op := aluOps[rng.Intn(len(aluOps))]
+			x := live[rng.Intn(len(live))]
+			y := live[rng.Intn(len(live))]
+			pc := kb.Op3(op, next, x, y)
+			if rng.Intn(3) == 0 {
+				kb.Predicate(pc, 20, rng.Intn(2) == 0)
+			}
+			live = append(live, next)
+			next++
+		case 2: // another load, sometimes predicated
+			src := isa.Reg(17)
+			if rng.Intn(2) == 0 {
+				src = 18
+			}
+			pc := kb.Ld(next, src, 0)
+			if rng.Intn(3) == 0 {
+				kb.Predicate(pc, 20, false)
+			}
+			live = append(live, next)
+			next++
+		case 3: // fused multiply-add
+			x := live[rng.Intn(len(live))]
+			y := live[rng.Intn(len(live))]
+			z := live[rng.Intn(len(live))]
+			kb.Op4(isa.FMA, next, x, y, z)
+			live = append(live, next)
+			next++
+		case 4: // store to a private slot
+			if stores < 4 {
+				v := live[rng.Intn(len(live))]
+				pc := kb.St(19, int64(4*stores), v)
+				if rng.Intn(3) == 0 {
+					kb.Predicate(pc, 20, false)
+				}
+				stores++
+			}
+		}
+		if next >= 60 {
+			break
+		}
+	}
+	// Guarantee at least one store so there is observable output.
+	if stores == 0 {
+		kb.St(19, 0, live[len(live)-1])
+		stores = 1
+	}
+	kb.Exit()
+	return kb.MustBuild("fuzz", n/64, 64, a, b, out), out, stores
+}
+
+// TestDifferentialFuzz runs randomly generated kernels under baseline and
+// full offload and requires bit-identical output memory — the strongest
+// functional check of partitioned execution.
+func TestDifferentialFuzz(t *testing.T) {
+	const n = 512
+	trials := 12
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := config.Default()
+		cfg.GPU.NumSMs = 2
+
+		type result struct {
+			words []uint32
+		}
+		runMode := func(mode Mode) result {
+			mem := vm.New(cfg)
+			// The same kernel-generator seed per mode yields the same
+			// program and data over identically laid-out memory.
+			kernelRng := rand.New(rand.NewSource(int64(7777 + trial)))
+			k, out, stores := randomKernel(kernelRng, mem, n)
+			m, err := Launch(cfg, k, mem, mode)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if _, err := m.Run(0); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, mode.Name, err)
+			}
+			words := make([]uint32, n*stores)
+			for i := 0; i < n; i++ {
+				for s := 0; s < stores; s++ {
+					words[i*stores+s] = uint32(memRead(mem, out+uint64(16*i+4*s)))
+				}
+			}
+			return result{words: words}
+		}
+
+		// Third leg: the reference interpreter, independent of all timing
+		// and protocol machinery.
+		ref := func() result {
+			mem := vm.New(cfg)
+			kernelRng := rand.New(rand.NewSource(int64(7777 + trial)))
+			k, out, stores := randomKernel(kernelRng, mem, n)
+			if err := interp.Run(k, mem); err != nil {
+				t.Fatalf("trial %d: interp: %v", trial, err)
+			}
+			words := make([]uint32, n*stores)
+			for i := 0; i < n; i++ {
+				for s := 0; s < stores; s++ {
+					words[i*stores+s] = mem.Read32(out + uint64(16*i+4*s))
+				}
+			}
+			return result{words: words}
+		}()
+
+		base := runMode(Baseline)
+		ndp := runMode(NaiveNDP)
+		if len(base.words) != len(ndp.words) || len(base.words) != len(ref.words) {
+			t.Fatalf("trial %d: output size mismatch", trial)
+		}
+		for i := range base.words {
+			if base.words[i] != ndp.words[i] || base.words[i] != ref.words[i] {
+				t.Fatalf("trial %d: word %d differs: interp %#x, baseline %#x, ndp %#x",
+					trial, i, ref.words[i], base.words[i], ndp.words[i])
+			}
+		}
+	}
+}
+
+func memRead(mem *vm.System, addr uint64) uint32 { return mem.Read32(addr) }

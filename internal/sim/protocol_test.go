@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"testing"
+
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/vm"
+)
+
+// TestWTAInflightCounters exercises the §4.1.1 dynamic-memory-management
+// hook: the GPU keeps a per-HMC counter of in-flight WTA packets so a page
+// swap can wait for exactly the stacks it touches. After quiescence every
+// counter must be zero.
+func TestWTAInflightCounters(t *testing.T) {
+	cfg := smallConfig()
+	mem := vm.New(cfg)
+	k, verify := buildVadd(t, mem, 2048, 64)
+	m, err := Launch(cfg, k, mem, NaiveNDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < cfg.NumHMCs; h++ {
+		if n := m.GPU().WTAInflight(h); n != 0 {
+			t.Fatalf("HMC %d has %d in-flight WTA packets after quiescence", h, n)
+		}
+	}
+	if m.St.WTAPackets == 0 {
+		t.Fatal("workload generated no WTA packets; counter untested")
+	}
+}
+
+// TestPredicatedOffload checks partitioned execution under predication: a
+// kernel whose loads/stores only run in half the lanes, offloaded fully.
+func TestPredicatedOffload(t *testing.T) {
+	cfg := smallConfig()
+	mem := vm.New(cfg)
+	const n = 2048
+	a := mem.Alloc(4 * n)
+	out := mem.Alloc(4 * n)
+	for i := 0; i < n; i++ {
+		mem.WriteF32(a+uint64(4*i), float32(i))
+		mem.WriteF32(out+uint64(4*i), -1)
+	}
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.ANDI, 16, kernel.RegGTID, 1) // odd threads only
+	kb.OpImm(isa.SHLI, 17, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 18, kernel.RegParam0, 17)
+	kb.Op3(isa.ADD, 19, kernel.RegParam0+1, 17)
+	ld := kb.Ld(20, 18, 0)
+	kb.Predicate(ld, 16, false)
+	fa := kb.Op3(isa.FADD, 21, 20, 20)
+	kb.Predicate(fa, 16, false)
+	st := kb.St(19, 0, 21)
+	kb.Predicate(st, 16, false)
+	kb.Exit()
+	k := kb.MustBuild("pred", n/64, 64, a, out)
+
+	m, err := Launch(cfg, k, mem, NaiveNDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OffloadBlocksOffloaded == 0 {
+		t.Fatal("predicated block not offloaded")
+	}
+	for i := 0; i < n; i++ {
+		want := float32(-1)
+		if i%2 == 1 {
+			want = float32(i) + float32(i)
+		}
+		if got := mem.ReadF32(out + uint64(4*i)); got != want {
+			t.Fatalf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestMisalignedOffload covers the misaligned-access classification of
+// §4.1.1: every thread reads the same word, so offsets are not the identity
+// and RDF packets carry the offset list.
+func TestMisalignedOffload(t *testing.T) {
+	cfg := smallConfig()
+	mem := vm.New(cfg)
+	const n = 1024
+	a := mem.Alloc(4 * n)
+	out := mem.Alloc(4 * n)
+	mem.WriteF32(a, 21)
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+	kb.Ld(17, kernel.RegParam0, 0) // broadcast: all lanes read word 0
+	kb.Op3(isa.FADD, 18, 17, 17)
+	kb.Op3(isa.ADD, 19, kernel.RegParam0+1, 16)
+	kb.St(19, 0, 18)
+	kb.Exit()
+	k := kb.MustBuild("bcast", n/64, 64, a, out)
+
+	m, err := Launch(cfg, k, mem, NaiveNDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := mem.ReadF32(out + uint64(4*i)); got != 42 {
+			t.Fatalf("out[%d] = %v, want 42", i, got)
+		}
+	}
+}
+
+// TestScatterStoreOffload covers divergent offloaded stores: each lane
+// writes a different line (WTA packets fan out to many vaults).
+func TestScatterStoreOffload(t *testing.T) {
+	cfg := smallConfig()
+	mem := vm.New(cfg)
+	const n = 1024
+	a := mem.Alloc(4 * n)
+	out := mem.Alloc(4 * n * 32) // stride 128B per element: one line each
+	for i := 0; i < n; i++ {
+		mem.WriteF32(a+uint64(4*i), float32(i))
+	}
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 17, kernel.RegParam0, 16)
+	kb.Ld(18, 17, 0)
+	kb.OpImm(isa.SHLI, 19, kernel.RegGTID, 7) // 128-byte stride
+	kb.Op3(isa.ADD, 20, kernel.RegParam0+1, 19)
+	kb.St(20, 0, 18)
+	kb.Exit()
+	k := kb.MustBuild("scatter", n/64, 64, a, out)
+
+	m, err := Launch(cfg, k, mem, NaiveNDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := mem.ReadF32(out + uint64(128*i)); got != float32(i) {
+			t.Fatalf("out[%d] = %v, want %v", i, got, float32(i))
+		}
+	}
+	// Divergent store: one WTA packet per line per warp (32 per warp).
+	if res.Stats.WTAPackets < int64(n) {
+		t.Fatalf("WTA packets = %d, want >= %d", res.Stats.WTAPackets, n)
+	}
+	// Every NSU line write triggers a §4.2 invalidation.
+	if res.Stats.InvalPackets != res.Stats.WTAPackets {
+		t.Fatalf("invals = %d, WTAs = %d", res.Stats.InvalPackets, res.Stats.WTAPackets)
+	}
+}
+
+// TestNSUReadOnlyCacheExtension checks the §7.1 future-work option: with the
+// read-only NSU cache enabled, repeated RDF hits on a hot line become small
+// references, shrinking GPU off-chip traffic without changing results.
+func TestNSUReadOnlyCacheExtension(t *testing.T) {
+	run := func(roBytes int) (int64, error) {
+		cfg := smallConfig()
+		cfg.NSU.ReadOnlyCacheBytes = roBytes
+		mem := vm.New(cfg)
+		const n = 4096
+		hot := mem.Alloc(128) // one hot line
+		src := mem.Alloc(4 * n)
+		out := mem.Alloc(4 * n)
+		mem.WriteF32(hot, 3)
+		for i := 0; i < n; i++ {
+			mem.WriteF32(src+uint64(4*i), float32(i))
+		}
+		kb := kernel.NewBuilder()
+		kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+		kb.Op3(isa.ADD, 17, kernel.RegParam0+1, 16)
+		kb.Ld(18, 17, 0)               // streamed
+		kb.Ld(19, kernel.RegParam0, 0) // hot broadcast line
+		kb.Op3(isa.FMUL, 20, 18, 19)
+		kb.Op3(isa.ADD, 21, kernel.RegParam0+2, 16)
+		kb.St(21, 0, 20)
+		kb.Exit()
+		k := kb.MustBuild("hot", n/64, 64, hot, src, out)
+		m, err := Launch(cfg, k, mem, StaticNDP(0.5))
+		if err != nil {
+			return 0, err
+		}
+		res, err := m.Run(0)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < n; i++ {
+			want := f32ref(float32(i) * 3)
+			if got := mem.ReadF32(out + uint64(4*i)); got != want {
+				t.Fatalf("ro=%d: out[%d] = %v, want %v", roBytes, i, got, want)
+			}
+			mem.WriteF32(out+uint64(4*i), -1)
+		}
+		return res.Stats.OffChipTraffic(), nil
+	}
+	base, err := run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := run(8 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro >= base {
+		t.Fatalf("read-only cache did not reduce off-chip traffic: %d >= %d", ro, base)
+	}
+}
+
+// f32ref mirrors the simulator's float32 multiply rounding.
+func f32ref(x float32) float32 { return x }
+
+// TestPageSwapDuringOffload migrates pages between stacks while offloaded
+// execution is in flight (§4.1.1 dynamic memory management): the swap waits
+// for the stacks' in-flight WTA packets, other traffic continues, and the
+// functional output stays correct.
+func TestPageSwapDuringOffload(t *testing.T) {
+	cfg := smallConfig()
+	mem := vm.New(cfg)
+	k, verify := buildVadd(t, mem, 4096, 64)
+	m, err := Launch(cfg, k, mem, NaiveNDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule migrations of the first pages of each array to rotating
+	// stacks before the run starts; they will complete mid-run.
+	for p := 0; p < 8; p++ {
+		m.RequestPageSwap(k.Params[p%3]+uint64(4096*(p%4)), p%cfg.NumHMCs)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("page swaps corrupted results: %v", err)
+	}
+	if m.PendingSwaps() != 0 {
+		t.Fatalf("%d swaps never completed", m.PendingSwaps())
+	}
+	if m.SwapsDone != 8 {
+		t.Fatalf("swaps done = %d, want 8", m.SwapsDone)
+	}
+	// Placement actually changed.
+	for p := 0; p < 8; p++ {
+		if got := mem.HMCOf(k.Params[p%3] + uint64(4096*(p%4))); got != p%cfg.NumHMCs {
+			t.Fatalf("page %d home = %d, want %d", p, got, p%cfg.NumHMCs)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package sim assembles the full machine — GPU, fabric, memory stacks, and
+// NSUs — and runs kernels to completion across the four clock domains of
+// Table 2 (SM 700 MHz, crossbar 1250 MHz, DRAM tCK = 1.5 ns, NSU 350 MHz).
+package sim
+
+import (
+	"fmt"
+
+	"ndpgpu/internal/analyzer"
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/gpu"
+	"ndpgpu/internal/hmc"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/noc"
+	"ndpgpu/internal/nsu"
+	"ndpgpu/internal/stats"
+	"ndpgpu/internal/timing"
+	"ndpgpu/internal/vm"
+)
+
+// Mode selects the offload-decision mechanism for a run.
+type Mode struct {
+	Name    string
+	NDP     bool    // false: run the original kernel with no NDP machinery
+	Static  float64 // static offload ratio, used when Dynamic is false
+	Always  bool    // naive: offload every block instance (§6)
+	Dynamic bool    // Algorithm 1 controller (§7.2)
+	Cache   bool    // cache-locality-aware filter on top (§7.3)
+}
+
+// Predefined modes matching the paper's configurations.
+var (
+	Baseline = Mode{Name: "Baseline"}
+	NaiveNDP = Mode{Name: "NaiveNDP", NDP: true, Always: true}
+	DynNDP   = Mode{Name: "NDP(Dyn)", NDP: true, Dynamic: true}
+	DynCache = Mode{Name: "NDP(Dyn)_Cache", NDP: true, Dynamic: true, Cache: true}
+)
+
+// StaticNDP returns the NDP(p) static-ratio mode of §7.1.
+func StaticNDP(p float64) Mode {
+	return Mode{Name: fmt.Sprintf("NDP(%.1f)", p), NDP: true, Static: p}
+}
+
+// Machine is one assembled system instance.
+type Machine struct {
+	Cfg  config.Config
+	Prog *analyzer.Program
+	Mem  *vm.System
+	St   *stats.Stats
+	Dec  core.Decider
+
+	fab  *noc.Fabric
+	g    *gpu.GPU
+	hmcs []*hmc.HMC
+	nsus []*nsu.NSU
+
+	engine    *timing.Engine
+	smDomain  *timing.Domain
+	nsuDomain *timing.Domain
+
+	swaps     []*pageSwap
+	SwapsDone int
+}
+
+// pageSwap is one pending §4.1.1 page migration: the placement changes only
+// once the destination stacks have no in-flight WTA packets and the GPU has
+// no outstanding fills for the page, exactly the paper's stall rule.
+type pageSwap struct {
+	pageBase uint64
+	oldHome  int
+	newHome  int
+}
+
+// Result summarizes one run.
+type Result struct {
+	Stats    *stats.Stats
+	Cycles   int64 // SM cycles to completion
+	TimePS   timing.PS
+	Mode     string
+	TimedOut bool
+}
+
+// BuildProgram prepares the kernel for the mode: NDP modes run the
+// analyzer-rewritten binary; the baseline runs the original code.
+func BuildProgram(k *kernel.Kernel, mode Mode) (*analyzer.Program, error) {
+	if !mode.NDP {
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+		return &analyzer.Program{Kernel: k}, nil
+	}
+	return analyzer.Analyze(k, analyzer.DefaultOptions())
+}
+
+// NewDecider builds the mode's offload decider.
+func NewDecider(cfg config.Config, prog *analyzer.Program, mode Mode) core.Decider {
+	var dec core.Decider
+	switch {
+	case !mode.NDP:
+		dec = core.Never{}
+	case mode.Always:
+		dec = core.Always{}
+	case mode.Dynamic:
+		dec = core.NewDynamic(cfg.NDP, cfg.NDP.DecisionSeed)
+	default:
+		dec = core.NewStaticRatio(mode.Static, cfg.NDP.DecisionSeed)
+	}
+	if mode.Cache {
+		dec = core.NewCacheAware(dec, gpu.BlockInfos(prog), cfg.LineBytes())
+	}
+	return dec
+}
+
+// New assembles a machine for the given program over an already-initialized
+// memory image.
+func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, dec core.Decider) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := stats.New()
+	fab := noc.NewFabric(cfg, st)
+	m := &Machine{Cfg: cfg, Prog: prog, Mem: mem, St: st, Dec: dec, fab: fab}
+	m.g = gpu.New(cfg, prog, mem, fab, st, dec)
+	for i := 0; i < cfg.NumHMCs; i++ {
+		h := hmc.New(i, cfg, mem, fab, st)
+		n := nsu.New(i, cfg, prog, mem, fab, st, m.g.BufferManager())
+		h.SetNSU(n)
+		n.SetLocalWriter(h)
+		m.hmcs = append(m.hmcs, h)
+		m.nsus = append(m.nsus, n)
+	}
+
+	m.engine = timing.NewEngine()
+	m.smDomain = m.engine.AddDomain("sm", timing.PeriodFromMHz(cfg.GPU.SMClockMHz))
+	m.smDomain.Attach(timing.TickFunc(m.g.Tick))
+	xbar := m.engine.AddDomain("xbar", timing.PeriodFromMHz(cfg.GPU.XbarClockMHz))
+	xbar.Attach(timing.TickFunc(m.g.XbarTick))
+	dramDom := m.engine.AddDomain("dram", timing.PS(cfg.HMC.TCKps))
+	for _, h := range m.hmcs {
+		h := h
+		dramDom.Attach(timing.TickFunc(h.Tick))
+	}
+	m.nsuDomain = m.engine.AddDomain("nsu", timing.PeriodFromMHz(cfg.NSU.ClockMHz))
+	for _, n := range m.nsus {
+		n := n
+		m.nsuDomain.Attach(timing.TickFunc(n.Tick))
+	}
+	m.smDomain.Attach(timing.TickFunc(m.serviceSwaps))
+	return m, nil
+}
+
+// RequestPageSwap schedules a migration of the page holding addr to stack
+// newHome (§4.1.1 dynamic memory management). The swap completes at the
+// first cycle where the involved stacks have no in-flight WTA packets and
+// no line fills for the page are outstanding; other pages proceed
+// unaffected throughout. The functional contents are unchanged — only the
+// physical placement moves, as with a swap whose transfer latency overlaps
+// the external-interface fetch.
+func (m *Machine) RequestPageSwap(addr uint64, newHome int) {
+	page := addr &^ (uint64(m.Cfg.Mem.PageBytes) - 1)
+	m.swaps = append(m.swaps, &pageSwap{
+		pageBase: page,
+		oldHome:  m.Mem.HMCOf(page),
+		newHome:  newHome,
+	})
+}
+
+// PendingSwaps returns the number of swaps not yet performed.
+func (m *Machine) PendingSwaps() int { return len(m.swaps) }
+
+func (m *Machine) serviceSwaps(now timing.PS) {
+	if len(m.swaps) == 0 {
+		return
+	}
+	kept := m.swaps[:0]
+	for _, sw := range m.swaps {
+		if m.g.WTAInflight(sw.oldHome) > 0 || m.g.WTAInflight(sw.newHome) > 0 ||
+			m.g.PageFillsOutstanding(sw.pageBase, m.Cfg.Mem.PageBytes) {
+			kept = append(kept, sw)
+			continue
+		}
+		m.Mem.PlacePage(sw.pageBase, sw.newHome)
+		m.SwapsDone++
+	}
+	m.swaps = kept
+}
+
+// Launch builds the program, decider, and machine for a kernel in one step.
+func Launch(cfg config.Config, k *kernel.Kernel, mem *vm.System, mode Mode) (*Machine, error) {
+	prog, err := BuildProgram(k, mode)
+	if err != nil {
+		return nil, err
+	}
+	dec := NewDecider(cfg, prog, mode)
+	return New(cfg, prog, mem, dec)
+}
+
+// done reports full-system quiescence.
+func (m *Machine) done() bool {
+	if !m.g.Done() || !m.fab.Quiesced() {
+		return false
+	}
+	for _, h := range m.hmcs {
+		if h.Busy() {
+			return false
+		}
+	}
+	for _, n := range m.nsus {
+		if n.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultLimitPS bounds a run to one simulated second — far beyond any
+// scaled workload; hitting it means livelock.
+const DefaultLimitPS = timing.PS(1e12)
+
+// Run executes the kernel to completion (or the time limit) and returns the
+// collected results. Run may only be called once per Machine.
+func (m *Machine) Run(limitPS timing.PS) (*Result, error) {
+	if limitPS <= 0 {
+		limitPS = DefaultLimitPS
+	}
+	_, ok := m.engine.RunUntil(m.done, limitPS)
+	m.finalize()
+	res := &Result{Stats: m.St, Cycles: m.St.SMCycles, TimePS: m.St.ElapsedPS, TimedOut: !ok}
+	if !ok {
+		return res, fmt.Errorf("sim: run exceeded %d ps without quiescing", limitPS)
+	}
+	if !m.g.BufferManager().AllReturned() {
+		return res, fmt.Errorf("sim: NDP buffer credits not fully returned at quiescence")
+	}
+	return res, nil
+}
+
+func (m *Machine) finalize() {
+	m.St.SMCycles = m.smDomain.Cycles
+	m.St.NSUCycles = m.nsuDomain.Cycles
+	m.St.ElapsedPS = m.engine.Now()
+	m.g.CollectCacheStats()
+	for _, h := range m.hmcs {
+		vs := h.VaultStats()
+		m.St.DRAMReads += vs.Reads
+		m.St.DRAMWrites += vs.Writes
+		m.St.DRAMActivations += vs.Activations
+		m.St.DRAMRowHits += vs.RowHits
+	}
+	for _, n := range m.nsus {
+		m.St.NSUICodeBytes[n.ID] = n.ICodeBytes()
+	}
+}
+
+// GPU exposes the GPU for white-box tests (WTA in-flight counters, etc.).
+func (m *Machine) GPU() *gpu.GPU { return m.g }
+
+// Fabric exposes the interconnect, e.g. to install a packet tracer.
+func (m *Machine) Fabric() *noc.Fabric { return m.fab }
+
+// NSUs exposes the NSUs for occupancy inspection.
+func (m *Machine) NSUs() []*nsu.NSU { return m.nsus }

@@ -1,0 +1,155 @@
+// Package trace records and renders packet-level traces of the partitioned
+// execution protocol. It observes every message entering the interconnect
+// fabric (noc.Fabric.SetTracer), keeps a bounded ring of events, and renders
+// them with packet-aware descriptions — the tool of choice for watching one
+// warp's offload round trip (command, RDF, forwarded response, write, ack).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/timing"
+)
+
+// Event is one observed packet.
+type Event struct {
+	At    timing.PS
+	Route string
+	Size  int
+	Desc  string
+	ID    core.OffloadID // zero unless the packet belongs to an offload
+	HasID bool
+}
+
+// Recorder collects events into a bounded ring buffer.
+type Recorder struct {
+	max    int
+	events []Event
+	start  int
+	total  int64
+
+	// Filter, when non-nil, drops events it rejects.
+	Filter func(Event) bool
+}
+
+// NewRecorder builds a recorder holding at most max events (older events are
+// discarded first).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Recorder{max: max}
+}
+
+// Observe implements noc.Tracer.
+func (r *Recorder) Observe(now timing.PS, route string, size int, msg any) {
+	ev := Event{At: now, Route: route, Size: size, Desc: Describe(msg)}
+	if id, ok := offloadID(msg); ok {
+		ev.ID, ev.HasID = id, true
+	}
+	if r.Filter != nil && !r.Filter(ev) {
+		return
+	}
+	r.total++
+	if len(r.events) < r.max {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.start] = ev
+	r.start = (r.start + 1) % r.max
+}
+
+// Total returns how many events were observed (including discarded ones).
+func (r *Recorder) Total() int64 { return r.total }
+
+// Events returns the retained events in arrival order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.events))
+	for i := 0; i < len(r.events); i++ {
+		out = append(out, r.events[(r.start+i)%len(r.events)])
+	}
+	return out
+}
+
+// String renders the retained events, one per line.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		fmt.Fprintf(&b, "%12d ps  %-12s %4d B  %s\n", ev.At, ev.Route, ev.Size, ev.Desc)
+	}
+	return b.String()
+}
+
+// FilterWarp returns a filter keeping only packets of one offloaded warp.
+func FilterWarp(sm, warp int32) func(Event) bool {
+	return func(ev Event) bool {
+		return ev.HasID && ev.ID.SM == sm && ev.ID.Warp == warp
+	}
+}
+
+// Describe renders a protocol packet compactly.
+func Describe(msg any) string {
+	switch m := msg.(type) {
+	case *core.CmdPacket:
+		return fmt.Sprintf("CMD    sm%d/w%d blk%d regs=%d ld=%d st=%d -> nsu%d",
+			m.ID.SM, m.ID.Warp, m.BlockID, len(m.In.Regs), m.NumLD, m.NumST, m.Target)
+	case *core.RDFPacket:
+		return fmt.Sprintf("RDF    sm%d/w%d seq%d line=%#x -> nsu%d",
+			m.ID.SM, m.ID.Warp, m.Seq, m.Access.LineAddr, m.Target)
+	case *core.RDFResp:
+		src := "dram"
+		if m.FromCache {
+			src = "gpu-cache"
+		}
+		return fmt.Sprintf("RDFRSP sm%d/w%d seq%d mask=%#x from=%s",
+			m.ID.SM, m.ID.Warp, m.Seq, m.Mask, src)
+	case *core.RDFRef:
+		return fmt.Sprintf("RDFREF sm%d/w%d seq%d line=%#x (NSU read-only cache)",
+			m.ID.SM, m.ID.Warp, m.Seq, m.Access.LineAddr)
+	case *core.WTAPacket:
+		return fmt.Sprintf("WTA    sm%d/w%d seq%d line=%#x -> nsu%d",
+			m.ID.SM, m.ID.Warp, m.Seq, m.Access.LineAddr, m.Target)
+	case *core.WritePacket:
+		return fmt.Sprintf("WRITE  sm%d/w%d seq%d line=%#x from nsu%d",
+			m.ID.SM, m.ID.Warp, m.Seq, m.Access.LineAddr, m.Source)
+	case *core.WriteAck:
+		return fmt.Sprintf("WACK   sm%d/w%d seq%d", m.ID.SM, m.ID.Warp, m.Seq)
+	case *core.InvalPacket:
+		return fmt.Sprintf("INVAL  line=%#x home=hmc%d", m.LineAddr, m.HomeHMC)
+	case *core.AckPacket:
+		return fmt.Sprintf("ACK    sm%d/w%d regs=%d", m.ID.SM, m.ID.Warp, len(m.Out.Regs))
+	case *core.ReadReq:
+		return fmt.Sprintf("READ   line=%#x", m.LineAddr)
+	case *core.ReadResp:
+		return fmt.Sprintf("RESP   line=%#x", m.LineAddr)
+	case *core.WriteReq:
+		return fmt.Sprintf("WRITE  line=%#x (baseline)", m.Access.LineAddr)
+	default:
+		return fmt.Sprintf("%T", msg)
+	}
+}
+
+func offloadID(msg any) (core.OffloadID, bool) {
+	switch m := msg.(type) {
+	case *core.CmdPacket:
+		return m.ID, true
+	case *core.RDFPacket:
+		return m.ID, true
+	case *core.RDFResp:
+		return m.ID, true
+	case *core.RDFRef:
+		return m.ID, true
+	case *core.WTAPacket:
+		return m.ID, true
+	case *core.WritePacket:
+		return m.ID, true
+	case *core.WriteAck:
+		return m.ID, true
+	case *core.AckPacket:
+		return m.ID, true
+	default:
+		return core.OffloadID{}, false
+	}
+}

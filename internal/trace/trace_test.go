@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ndpgpu/internal/core"
+)
+
+func TestRecorderRingBuffer(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Observe(int64(i*100), "gpu->hmc0", 16, &core.ReadReq{LineAddr: uint64(i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(evs))
+	}
+	// Oldest two discarded: first retained is event #2 (at=200).
+	if evs[0].At != 200 || evs[2].At != 400 {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+}
+
+func TestFilterWarp(t *testing.T) {
+	r := NewRecorder(10)
+	r.Filter = FilterWarp(1, 2)
+	r.Observe(0, "gpu->hmc0", 16, &core.CmdPacket{ID: core.OffloadID{SM: 1, Warp: 2}})
+	r.Observe(0, "gpu->hmc0", 16, &core.CmdPacket{ID: core.OffloadID{SM: 1, Warp: 3}})
+	r.Observe(0, "gpu->hmc0", 16, &core.ReadReq{}) // no offload ID
+	if len(r.Events()) != 1 {
+		t.Fatalf("filtered events = %d, want 1", len(r.Events()))
+	}
+}
+
+func TestDescribeAllPacketTypes(t *testing.T) {
+	id := core.OffloadID{SM: 3, Warp: 7}
+	cases := []struct {
+		msg  any
+		want string
+	}{
+		{&core.CmdPacket{ID: id, BlockID: 2, Target: 5}, "CMD"},
+		{&core.RDFPacket{ID: id, Seq: 1}, "RDF"},
+		{&core.RDFResp{ID: id, FromCache: true}, "gpu-cache"},
+		{&core.RDFResp{ID: id}, "dram"},
+		{&core.RDFRef{ID: id}, "read-only cache"},
+		{&core.WTAPacket{ID: id}, "WTA"},
+		{&core.WritePacket{ID: id, Source: 4}, "nsu4"},
+		{&core.WriteAck{ID: id}, "WACK"},
+		{&core.InvalPacket{HomeHMC: 6}, "hmc6"},
+		{&core.AckPacket{ID: id}, "ACK"},
+		{&core.ReadReq{LineAddr: 0x80}, "0x80"},
+		{&core.ReadResp{LineAddr: 0x80}, "RESP"},
+		{&core.WriteReq{}, "baseline"},
+		{42, "int"},
+	}
+	for _, c := range cases {
+		got := Describe(c.msg)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("Describe(%T) = %q, want containing %q", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := NewRecorder(10)
+	r.Observe(1234, "gpu->hmc3", 16, &core.ReadReq{LineAddr: 0x1000})
+	out := r.String()
+	if !strings.Contains(out, "gpu->hmc3") || !strings.Contains(out, "READ") {
+		t.Fatalf("rendering missing fields: %s", out)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if r.max != 4096 {
+		t.Fatalf("default max = %d", r.max)
+	}
+}

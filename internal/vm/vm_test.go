@@ -1,0 +1,165 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpgpu/internal/config"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	return New(config.Default())
+}
+
+func TestAllocPageAligned(t *testing.T) {
+	s := newSys(t)
+	a := s.Alloc(100)
+	b := s.Alloc(100)
+	if a%4096 != 0 || b%4096 != 0 {
+		t.Fatalf("allocations not page aligned: %#x %#x", a, b)
+	}
+	if b <= a {
+		t.Fatalf("allocations overlap: %#x %#x", a, b)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := newSys(t)
+	base := s.Alloc(4096)
+	s.Write32(base+8, 0xdeadbeef)
+	if got := s.Read32(base + 8); got != 0xdeadbeef {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	s.WriteF32(base+12, 3.5)
+	if got := s.ReadF32(base + 12); got != 3.5 {
+		t.Fatalf("ReadF32 = %v", got)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	s := newSys(t)
+	s.Alloc(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for OOB read")
+		}
+	}()
+	s.Read32(1 << 40)
+}
+
+func TestNullAccessPanics(t *testing.T) {
+	s := newSys(t)
+	s.Alloc(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for address 0")
+		}
+	}()
+	s.Read32(0)
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	c := config.Default()
+	s1, s2 := New(c), New(c)
+	a1, a2 := s1.Alloc(1<<20), s2.Alloc(1<<20)
+	if a1 != a2 {
+		t.Fatalf("allocators disagree: %#x %#x", a1, a2)
+	}
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		if s1.HMCOf(a1+off) != s2.HMCOf(a2+off) {
+			t.Fatalf("placement not deterministic at offset %#x", off)
+		}
+	}
+}
+
+func TestPlacementCoversAllHMCs(t *testing.T) {
+	s := newSys(t)
+	base := s.Alloc(1 << 20) // 256 pages
+	seen := make(map[int]bool)
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		h := s.HMCOf(base + off)
+		if h < 0 || h >= 8 {
+			t.Fatalf("HMC %d out of range", h)
+		}
+		seen[h] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("random placement used %d of 8 HMCs", len(seen))
+	}
+}
+
+func TestSamePageSameHMC(t *testing.T) {
+	s := newSys(t)
+	base := s.Alloc(8192)
+	h := s.HMCOf(base)
+	for off := uint64(0); off < 4096; off += 128 {
+		if s.HMCOf(base+off) != h {
+			t.Fatalf("page split across HMCs at offset %d", off)
+		}
+	}
+}
+
+func TestDecodeFields(t *testing.T) {
+	s := newSys(t)
+	base := s.Alloc(1 << 16)
+	loc := s.Decode(base)
+	if loc.Vault != 0 || loc.Bank != int(base>>11)&15 {
+		t.Fatalf("unexpected decode at base: %+v", loc)
+	}
+	// Consecutive lines hit consecutive vaults.
+	l0 := s.Decode(base)
+	l1 := s.Decode(base + 128)
+	if l1.Vault != (l0.Vault+1)%16 {
+		t.Fatalf("line interleaving broken: %d -> %d", l0.Vault, l1.Vault)
+	}
+}
+
+func TestDecodeRanges(t *testing.T) {
+	s := newSys(t)
+	base := s.Alloc(1 << 20)
+	f := func(off uint32) bool {
+		a := base + uint64(off)%(1<<20)
+		loc := s.Decode(a)
+		return loc.HMC >= 0 && loc.HMC < 8 &&
+			loc.Vault >= 0 && loc.Vault < 16 &&
+			loc.Bank >= 0 && loc.Bank < 16 &&
+			loc.Row >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	s := newSys(t)
+	base := s.Alloc(4096)
+	if got := s.LineAddr(base + 200); got != base+128 {
+		t.Fatalf("LineAddr = %#x, want %#x", got, base+128)
+	}
+}
+
+func TestPlacePageOverride(t *testing.T) {
+	s := newSys(t)
+	base := s.Alloc(4096)
+	for h := 0; h < 8; h++ {
+		s.PlacePage(base, h)
+		if got := s.HMCOf(base); got != h {
+			t.Fatalf("PlacePage(%d) -> HMCOf = %d", h, got)
+		}
+	}
+}
+
+func TestSameRowSharesBankAndRow(t *testing.T) {
+	s := newSys(t)
+	base := s.Alloc(1 << 20)
+	// Two addresses 32 KB apart in the same vault/bank position differ in row.
+	l0 := s.Decode(base)
+	l1 := s.Decode(base + 1<<15)
+	if l0.Vault != l1.Vault || l0.Bank != l1.Bank {
+		t.Fatalf("expected same vault/bank: %+v vs %+v", l0, l1)
+	}
+	if l0.Row == l1.Row {
+		t.Fatal("expected different rows 32KB apart")
+	}
+}

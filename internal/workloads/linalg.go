@@ -1,0 +1,349 @@
+package workloads
+
+import (
+	"math"
+
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/vm"
+)
+
+func init() {
+	register("BICG", buildBICG)
+	register("KMN", buildKMN)
+	register("STN", buildSTN)
+}
+
+// buildBICG computes the two BiCGStab matrix-vector products of Polybench's
+// bicg over a 4 MB matrix (larger than the L2): q = A*p with each thread
+// reading a row segment sequentially (warp-divergent, with per-thread line
+// reuse that the thrashing L1 cannot hold), and s = A'*r with warps reading
+// 32 adjacent columns (coalesced). The divergent row pass is where NDP
+// recovers the wasted fetches. Table 1: 6K x 6K, two 4-instruction blocks.
+func buildBICG(mem *vm.System, scale int) *Workload {
+	n := 1024 * scale // matrix dimension
+	const chunks = 16
+	chunk := n / chunks // elements per thread segment
+	threads := n * chunks
+
+	a := allocF32(mem, n*n)
+	p := allocF32(mem, n)
+	rv := allocF32(mem, n)
+	qpart := allocF32(mem, threads)
+	spart := allocF32(mem, threads)
+
+	r := rng()
+	amat := make([]float32, n*n)
+	pv := make([]float32, n)
+	rvv := make([]float32, n)
+	for i := range amat {
+		amat[i] = r.Float32() - 0.5
+	}
+	for i := 0; i < n; i++ {
+		pv[i] = r.Float32()
+		rvv[i] = r.Float32()
+	}
+	fillF32(mem, a, n*n, func(i int) float32 { return amat[i] })
+	fillF32(mem, p, n, func(i int) float32 { return pv[i] })
+	fillF32(mem, rv, n, func(i int) float32 { return rvv[i] })
+
+	kb := kernel.NewBuilder()
+
+	// q pass: thread (row, c) with row = gtid/chunks, c = gtid%chunks reads
+	// A[row][c*chunk + k] for k in [0, chunk) — per-thread sequential, so a
+	// warp's load touches 32 distinct lines (divergent) that only pay off
+	// if the L1 can hold them across the k loop.
+	kb.OpImm(isa.SHRI, 16, kernel.RegGTID, shiftFor(chunks)) // row
+	kb.OpImm(isa.ANDI, 17, kernel.RegGTID, int64(chunks-1))  // c
+	kb.MovI(18, int64(n))
+	kb.Op3(isa.MUL, 19, 16, 18) // row*n
+	kb.MovI(20, int64(chunk))
+	kb.Op3(isa.MUL, 21, 17, 20) // j0 = c*chunk
+	kb.Op3(isa.ADD, 22, 19, 21) // row*n + j0
+	kb.OpImm(isa.SHLI, 22, 22, 2)
+	kb.Op3(isa.ADD, 22, kernel.RegParam0, 22) // &A[row][j0]
+	kb.OpImm(isa.SHLI, 23, 21, 2)
+	kb.Op3(isa.ADD, 23, kernel.RegParam0+1, 23) // &p[j0]
+	kb.MovI(24, 0)                              // q acc
+	kb.MovI(25, int64(chunk/2))
+	qloop := kb.NewLabel()
+	kb.Bind(qloop)
+	kb.Ld(26, 22, 0)
+	kb.Ld(27, 23, 0)
+	kb.Ld(28, 22, 4)
+	kb.Ld(29, 23, 4)
+	kb.Op4(isa.FMA, 24, 26, 27, 24)
+	kb.Op4(isa.FMA, 24, 28, 29, 24)
+	kb.OpImm(isa.ADDI, 22, 22, 8)
+	kb.OpImm(isa.ADDI, 23, 23, 8)
+	kb.OpImm(isa.ADDI, 25, 25, -1)
+	kb.MovI(30, 0)
+	kb.Setp(isa.CmpGT, 31, 25, 30)
+	kb.Brp(31, qloop)
+	kb.OpImm(isa.SHLI, 32, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 33, kernel.RegParam0+3, 32)
+	kb.St(33, 0, 24)
+
+	// s pass: thread (jc, col) with col = gtid%n, jc = gtid/n reads
+	// A[jc*chunk + k][col] — a warp covers 32 adjacent columns (coalesced)
+	// and the r[j] operand is a warp-wide broadcast.
+	kb.OpImm(isa.ANDI, 16, kernel.RegGTID, int64(n-1))  // col
+	kb.OpImm(isa.SHRI, 17, kernel.RegGTID, shiftFor(n)) // jc
+	kb.Op3(isa.MUL, 21, 17, 20)                         // j0 = jc*chunk
+	kb.Op3(isa.MUL, 22, 21, 18)                         // j0*n
+	kb.Op3(isa.ADD, 22, 22, 16)                         // j0*n + col
+	kb.OpImm(isa.SHLI, 22, 22, 2)
+	kb.Op3(isa.ADD, 22, kernel.RegParam0, 22) // &A[j0][col]
+	kb.OpImm(isa.SHLI, 23, 21, 2)
+	kb.Op3(isa.ADD, 23, kernel.RegParam0+2, 23) // &r[j0]
+	kb.MovI(24, 0)                              // s acc
+	kb.MovI(25, int64(chunk/2))
+	sloop := kb.NewLabel()
+	kb.Bind(sloop)
+	kb.Ld(26, 22, 0)
+	kb.Ld(27, 23, 0)
+	kb.Ld(28, 22, int64(4*n))
+	kb.Ld(29, 23, 4)
+	kb.Op4(isa.FMA, 24, 26, 27, 24)
+	kb.Op4(isa.FMA, 24, 28, 29, 24)
+	kb.OpImm(isa.ADDI, 22, 22, int64(8*n))
+	kb.OpImm(isa.ADDI, 23, 23, 8)
+	kb.OpImm(isa.ADDI, 25, 25, -1)
+	kb.MovI(30, 0)
+	kb.Setp(isa.CmpGT, 31, 25, 30)
+	kb.Brp(31, sloop)
+	kb.Op3(isa.ADD, 33, kernel.RegParam0+4, 32)
+	kb.St(33, 0, 24)
+	kb.Exit()
+	k := kb.MustBuild("bicg", threads/256, 256, a, p, rv, qpart, spart)
+
+	return &Workload{
+		Abbr:   "BICG",
+		Desc:   "BiCGStab matrix-vector kernels [Polybench]",
+		Input:  fmtN(n) + "x" + fmtN(n) + " matrix",
+		Kernel: k,
+		Verify: func() error {
+			for g := 0; g < threads; g++ {
+				row, c := g/chunks, g%chunks
+				var q float32
+				for k2 := 0; k2 < chunk; k2++ {
+					j := c*chunk + k2
+					q = f32fma(amat[row*n+j], pv[j], q)
+				}
+				if err := expectF32(mem, qpart, g, q, "qpart"); err != nil {
+					return err
+				}
+				col, jc := g%n, g/n
+				var sv float32
+				for k2 := 0; k2 < chunk; k2++ {
+					j := jc*chunk + k2
+					sv = f32fma(amat[j*n+col], rvv[j], sv)
+				}
+				if err := expectF32(mem, spart, g, sv, "spart"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// buildKMN is the k-means assignment step: each point finds its nearest
+// centroid. Point features use Rodinia's inverted (feature-major,
+// coalesced) layout and are re-streamed once per cluster, so the working
+// set exceeds the L2 by 2x and the baseline is bound by GPU off-chip
+// bandwidth — which NDP relieves by moving the feature stream onto the
+// memory network (the paper's biggest winner, +66.8%). Centroids live in
+// constant memory like Rodinia's kernel; both the GPU and the NSU serve
+// them from their constant caches (Table 2 gives the NSU a 4 KB one).
+// Table 1: 28K objects, 138 features; scaled to 32 features, 3 clusters —
+// wide enough that per-warp feature working sets overwhelm the L1/L2 as the
+// full-size workload does.
+func buildKMN(mem *vm.System, scale int) *Workload {
+	const feats = 32
+	const clusters = 3
+	n := 32 * 1024 * scale
+
+	x := allocF32(mem, feats*n) // x[f][i], feature-major (coalesced)
+	cen := allocF32(mem, clusters*feats)
+	assign := mem.Alloc(4 * n)
+
+	r := rng()
+	xv := make([]float32, feats*n)
+	cv := make([]float32, clusters*feats)
+	for i := range xv {
+		xv[i] = r.Float32() * 10
+	}
+	for i := range cv {
+		cv[i] = r.Float32() * 10
+	}
+	fillF32(mem, x, feats*n, func(i int) float32 { return xv[i] })
+	fillF32(mem, cen, clusters*feats, func(i int) float32 { return cv[i] })
+
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2) // i*4
+	kb.Op3(isa.ADD, 17, kernel.RegParam0, 16) // &x[0][i]
+	bigF := int64(isa.FromF32(float32(math.Inf(1))))
+	kb.MovI(20, bigF) // best distance
+	kb.MovI(21, 0)    // best cluster
+	kb.MovI(22, 0)    // c
+	kb.MovI(23, int64(clusters))
+	loop := kb.NewLabel()
+	kb.Bind(loop)
+	// &cen[c][0] = cen + c*feats*4.
+	kb.OpImm(isa.SHLI, 24, 22, shiftFor(feats*4))
+	kb.Op3(isa.ADD, 24, kernel.RegParam0+1, 24)
+	kb.MovI(25, 0) // dist
+	for f := 0; f < feats; f++ {
+		kb.Ld(27, 17, int64(4*f*n)) // x[f][i] (streamed, coalesced)
+		kb.Ldc(26, 24, int64(4*f))  // cen[c][f] (constant cache)
+		kb.Op3(isa.FSUB, 28, 27, 26)
+		kb.Op4(isa.FMA, 25, 28, 28, 25)
+	}
+	kb.Setp(isa.CmpFLT, 29, 25, 20) // dist < best?
+	kb.Op4(isa.SEL, 20, 25, 20, 29)
+	kb.Op4(isa.SEL, 21, 22, 21, 29)
+	kb.OpImm(isa.ADDI, 22, 22, 1)
+	kb.Setp(isa.CmpLT, 30, 22, 23)
+	kb.Brp(30, loop)
+	kb.OpImm(isa.SHLI, 31, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 31, kernel.RegParam0+2, 31)
+	kb.St(31, 0, 21)
+	kb.Exit()
+	k := kb.MustBuild("kmn", n/256, 256, x, cen, assign)
+
+	return &Workload{
+		Abbr:   "KMN",
+		Desc:   "K-means assignment [Rodinia]",
+		Input:  fmtN(n) + " objects, " + itoa(feats) + " features, " + itoa(clusters) + " clusters",
+		Kernel: k,
+		Verify: func() error {
+			for i := 0; i < n; i++ {
+				best := float32(math.Inf(1))
+				bestC := uint32(0)
+				for c := 0; c < clusters; c++ {
+					var dist float32
+					for f := 0; f < feats; f++ {
+						d := f32sub(xv[f*n+i], cv[c*feats+f])
+						dist = f32fma(d, d, dist)
+					}
+					if dist < best {
+						best, bestC = dist, uint32(c)
+					}
+				}
+				if err := expectU32(mem, assign, i, bestC, "assign"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// buildSTN is the 7-point 3D stencil of Parboil: one thread per (x, y)
+// column iterating over z. The z+1 plane a thread loads this iteration is
+// its center next iteration, so the kernel has the genuine temporal cache
+// locality (paper: 45% L2 read hits) that makes offloading it a loss — the
+// §7.3 suppression case. Boundaries are handled with predication.
+// Table 1: 512x512x64 grid, one 15-instruction block; scaled to 512x64x8.
+func buildSTN(mem *vm.System, scale int) *Workload {
+	nx := 512
+	ny := 64 * scale
+	const nz = 8
+	n := nx * ny * nz
+	in := allocF32(mem, n)
+	out := allocF32(mem, n)
+
+	r := rng()
+	iv := make([]float32, n)
+	for i := range iv {
+		iv[i] = r.Float32()
+	}
+	fillF32(mem, in, n, func(i int) float32 { return iv[i] })
+
+	const c0, c1 = 0.5, 0.125
+	plane := nx * ny
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.ANDI, 16, kernel.RegGTID, int64(nx-1))  // x
+	kb.OpImm(isa.SHRI, 17, kernel.RegGTID, shiftFor(nx)) // y
+	// Interior predicate over x and y (z handled by the loop bounds).
+	kb.MovI(18, 0)
+	kb.Setp(isa.CmpGT, 19, 16, 18)
+	kb.MovI(18, int64(nx-1))
+	kb.Setp(isa.CmpLT, 20, 16, 18)
+	kb.Op3(isa.AND, 19, 19, 20)
+	kb.MovI(18, 0)
+	kb.Setp(isa.CmpGT, 20, 17, 18)
+	kb.Op3(isa.AND, 19, 19, 20)
+	kb.MovI(18, int64(ny-1))
+	kb.Setp(isa.CmpLT, 20, 17, 18)
+	kb.Op3(isa.AND, 19, 19, 20) // r19 = interior(x, y)
+
+	// Base address of (x, y, z=1).
+	kb.OpImm(isa.SHLI, 21, 17, int64(shiftFor(nx)))
+	kb.Op3(isa.ADD, 21, 21, 16)
+	kb.OpImm(isa.ADDI, 21, 21, int64(plane)) // + one plane for z=1
+	kb.OpImm(isa.SHLI, 21, 21, 2)
+	kb.Op3(isa.ADD, 22, kernel.RegParam0, 21)   // &in[x,y,1]
+	kb.Op3(isa.ADD, 33, kernel.RegParam0+1, 21) // &out[x,y,1]
+	kb.MovI(34, int64(nz-2))                    // z loop count
+
+	zloop := kb.NewLabel()
+	kb.Bind(zloop)
+	ld := func(dst isa.Reg, off int64) {
+		pc := kb.Ld(dst, 22, off)
+		kb.Predicate(pc, 19, false)
+	}
+	ld(23, 0)               // center
+	ld(24, -4)              // x-1
+	ld(25, 4)               // x+1
+	ld(26, int64(-4*nx))    // y-1
+	ld(27, int64(4*nx))     // y+1
+	ld(28, int64(-4*plane)) // z-1
+	ld(29, int64(4*plane))  // z+1
+	kb.MovI(30, int64(isa.FromF32(c0)))
+	kb.MovI(31, int64(isa.FromF32(c1)))
+	kb.Op3(isa.FMUL, 32, 23, 30)
+	kb.Op3(isa.FADD, 24, 24, 25)
+	kb.Op3(isa.FADD, 26, 26, 27)
+	kb.Op3(isa.FADD, 28, 28, 29)
+	kb.Op3(isa.FADD, 24, 24, 26)
+	kb.Op3(isa.FADD, 24, 24, 28)
+	kb.Op4(isa.FMA, 32, 24, 31, 32)
+	st := kb.St(33, 0, 32)
+	kb.Predicate(st, 19, false)
+	kb.OpImm(isa.ADDI, 22, 22, int64(4*plane))
+	kb.OpImm(isa.ADDI, 33, 33, int64(4*plane))
+	kb.OpImm(isa.ADDI, 34, 34, -1)
+	kb.MovI(35, 0)
+	kb.Setp(isa.CmpGT, 36, 34, 35)
+	kb.Brp(36, zloop)
+	kb.Exit()
+	k := kb.MustBuild("stn", plane/256, 256, in, out)
+
+	return &Workload{
+		Abbr:   "STN",
+		Desc:   "7-point 3D stencil [Parboil]",
+		Input:  fmtN(nx) + "x" + fmtN(ny) + "x" + itoa(nz) + " grid",
+		Kernel: k,
+		Verify: func() error {
+			idx := func(x, y, z int) int { return z*plane + y*nx + x }
+			for z := 1; z < nz-1; z++ {
+				for y := 1; y < ny-1; y++ {
+					for x := 1; x < nx-1; x++ {
+						i := idx(x, y, z)
+						want := f32mul(iv[i], c0)
+						sum := f32add(iv[i-1], iv[i+1])
+						sum = f32add(sum, f32add(iv[i-nx], iv[i+nx]))
+						sum = f32add(sum, f32add(iv[i-plane], iv[i+plane]))
+						want = f32fma(sum, c1, want)
+						if err := expectF32(mem, out, i, want, "out"); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,273 @@
+package workloads
+
+import (
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/vm"
+)
+
+func init() {
+	register("BFS", buildBFS)
+	register("MINIFE", buildMiniFE)
+	register("STCL", buildSTCL)
+}
+
+// buildBFS runs one frontier-expansion level of breadth-first search on a
+// fixed-degree random graph. The level[neighbor] gather is a divergent
+// indirect load — exactly the §4.4 pattern offloaded as a single-
+// instruction block. The conditional update uses predication (control
+// divergence is excluded from offload blocks per §3.1).
+// Table 1: 1M nodes, blocks of 1, 1 and 16 instructions.
+func buildBFS(mem *vm.System, scale int) *Workload {
+	const degree = 8
+	n := 512 * 1024 * scale // 2 MB level array fights the streams for the L2
+	unvisited := uint32(0xFFFFFFFF)
+
+	adj := mem.Alloc(4 * n * degree) // adj[i*degree+d]
+	level := mem.Alloc(4 * n)
+	r := rng()
+	adjv := make([]uint32, n*degree)
+	for i := range adjv {
+		adjv[i] = uint32(r.Intn(n))
+	}
+	lv := make([]uint32, n)
+	for i := range lv {
+		if r.Intn(16) == 0 { // ~6% of nodes form the current frontier
+			lv[i] = 0
+		} else {
+			lv[i] = unvisited
+		}
+	}
+	fillU32(mem, adj, n*degree, func(i int) uint32 { return adjv[i] })
+	fillU32(mem, level, n, func(i int) uint32 { return lv[i] })
+
+	// Phased kernel: load all neighbor ids, compute their level addresses,
+	// gather all neighbor levels back to back (one merged §4.4 indirect
+	// block -> one offload round trip), then do the conditional updates.
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 17, kernel.RegParam0+1, 16) // &level[i]
+	kb.Ld(18, 17, 0)                            // my level
+	kb.MovI(19, 0)
+	kb.Setp(isa.CmpEQ, 20, 18, 19) // in frontier?
+	// &adj[i*degree]
+	kb.OpImm(isa.SHLI, 21, kernel.RegGTID, shiftFor(degree*4))
+	kb.Op3(isa.ADD, 21, kernel.RegParam0, 21)
+	nbReg := func(d int) isa.Reg { return isa.Reg(24 + d) } // neighbor ids
+	adReg := func(d int) isa.Reg { return isa.Reg(32 + d) } // &level[nb]
+	lvReg := func(d int) isa.Reg { return isa.Reg(40 + d) } // gathered levels
+	for d := 0; d < degree; d++ {
+		pc := kb.Ld(nbReg(d), 21, int64(4*d)) // neighbor ids (coalesced)
+		kb.Predicate(pc, 20, false)
+	}
+	for d := 0; d < degree; d++ {
+		kb.OpImm(isa.SHLI, adReg(d), nbReg(d), 2)
+		kb.Op3(isa.ADD, adReg(d), kernel.RegParam0+1, adReg(d))
+	}
+	for d := 0; d < degree; d++ {
+		pc := kb.Ld(lvReg(d), adReg(d), 0) // gather (merged indirect block)
+		kb.Predicate(pc, 20, false)
+	}
+	kb.MovI(22, int64(unvisited))
+	kb.MovI(23, 1) // next level value
+	for d := 0; d < degree; d++ {
+		kb.Setp(isa.CmpEQ, 48, lvReg(d), 22) // unvisited?
+		kb.Op3(isa.AND, 48, 48, 20)
+		pc := kb.St(adReg(d), 0, 23) // level[nb] = 1
+		kb.Predicate(pc, 48, false)
+	}
+	kb.Exit()
+	k := kb.MustBuild("bfs", n/256, 256, adj, level)
+
+	return &Workload{
+		Abbr:   "BFS",
+		Desc:   "Breadth-first search level expansion [Rodinia]",
+		Input:  fmtN(n) + " nodes, degree " + itoa(degree),
+		Kernel: k,
+		Verify: func() error {
+			// Expected: neighbors of frontier nodes that were unvisited
+			// become level 1; races write the same value, so the final
+			// state is deterministic.
+			want := make([]uint32, n)
+			copy(want, lv)
+			for i := 0; i < n; i++ {
+				if lv[i] != 0 {
+					continue
+				}
+				for d := 0; d < degree; d++ {
+					nb := adjv[i*degree+d]
+					if lv[nb] == unvisited {
+						want[nb] = 1
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				if err := expectU32(mem, level, i, want[i], "level"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// buildMiniFE is the sparse matrix-vector product at the heart of the
+// finite-element mini-app: ELL format with a fixed 8 nonzeros per row,
+// band-limited random columns. The x[col] gather is indirect and divergent.
+// Table 1: 128x64x64 mesh, one 3-instruction block.
+func buildMiniFE(mem *vm.System, scale int) *Workload {
+	const nnz = 8
+	const band = 512
+	n := 16 * 1024 * scale
+
+	col := mem.Alloc(4 * nnz * n) // col[k][i], feature-major
+	val := allocF32(mem, nnz*n)
+	x := allocF32(mem, n)
+	y := allocF32(mem, n)
+
+	r := rng()
+	colv := make([]uint32, nnz*n)
+	valv := make([]float32, nnz*n)
+	xv := make([]float32, n)
+	for k := 0; k < nnz; k++ {
+		for i := 0; i < n; i++ {
+			c := i + r.Intn(2*band) - band
+			if c < 0 {
+				c += n
+			}
+			if c >= n {
+				c -= n
+			}
+			colv[k*n+i] = uint32(c)
+			valv[k*n+i] = r.Float32() - 0.5
+		}
+	}
+	for i := range xv {
+		xv[i] = r.Float32()
+	}
+	fillU32(mem, col, nnz*n, func(i int) uint32 { return colv[i] })
+	fillF32(mem, val, nnz*n, func(i int) float32 { return valv[i] })
+	fillF32(mem, x, n, func(i int) float32 { return xv[i] })
+
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 17, kernel.RegParam0, 16)   // &col[0][i]
+	kb.Op3(isa.ADD, 18, kernel.RegParam0+1, 16) // &val[0][i]
+	kb.MovI(20, 0)                              // acc
+	for k := 0; k < nnz; k++ {
+		kb.Ld(21, 17, int64(4*k*n)) // column index (coalesced)
+		kb.Ld(22, 18, int64(4*k*n)) // matrix value (coalesced)
+		kb.OpImm(isa.SHLI, 23, 21, 2)
+		kb.Op3(isa.ADD, 23, kernel.RegParam0+2, 23)
+		kb.Ld(24, 23, 0) // x[col] (indirect, divergent)
+		kb.Op4(isa.FMA, 20, 22, 24, 20)
+	}
+	kb.Op3(isa.ADD, 25, kernel.RegParam0+3, 16)
+	kb.St(25, 0, 20)
+	kb.Exit()
+	k := kb.MustBuild("minife", n/256, 256, col, val, x, y)
+
+	return &Workload{
+		Abbr:   "MINIFE",
+		Desc:   "Finite-element ELL SpMV [Mantevo miniFE]",
+		Input:  fmtN(n) + " rows, " + itoa(nnz) + " nnz/row",
+		Kernel: k,
+		Verify: func() error {
+			for i := 0; i < n; i++ {
+				var acc float32
+				for k2 := 0; k2 < nnz; k2++ {
+					acc = f32fma(valv[k2*n+i], xv[colv[k2*n+i]], acc)
+				}
+				if err := expectF32(mem, y, i, acc, "y"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// buildSTCL is the streamcluster distance pass: each point computes its
+// weighted distance to a candidate center. The per-point weight and count
+// are gathered through the current assignment — two single-instruction
+// indirect blocks — and the candidate center coordinates are a small hot
+// structure. Table 1: 16K points/block, blocks of 3, 9, 1, 1 instructions.
+func buildSTCL(mem *vm.System, scale int) *Workload {
+	const dims = 4
+	n := 16 * 1024 * scale
+
+	pts := allocF32(mem, dims*n) // p[d][i]
+	cen := allocF32(mem, dims)   // candidate center (hot)
+	assignA := mem.Alloc(4 * n)
+	weight := allocF32(mem, n)
+	count := allocF32(mem, n)
+	cost := allocF32(mem, n)
+
+	r := rng()
+	pv := make([]float32, dims*n)
+	cv := make([]float32, dims)
+	asv := make([]uint32, n)
+	wv := make([]float32, n)
+	cntv := make([]float32, n)
+	for i := range pv {
+		pv[i] = r.Float32() * 4
+	}
+	for i := range cv {
+		cv[i] = r.Float32() * 4
+	}
+	for i := 0; i < n; i++ {
+		asv[i] = uint32(r.Intn(n))
+		wv[i] = r.Float32() + 0.5
+		cntv[i] = float32(r.Intn(8) + 1)
+	}
+	fillF32(mem, pts, dims*n, func(i int) float32 { return pv[i] })
+	fillF32(mem, cen, dims, func(i int) float32 { return cv[i] })
+	fillU32(mem, assignA, n, func(i int) uint32 { return asv[i] })
+	fillF32(mem, weight, n, func(i int) float32 { return wv[i] })
+	fillF32(mem, count, n, func(i int) float32 { return cntv[i] })
+
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 17, kernel.RegParam0+2, 16)
+	kb.Ld(18, 17, 0) // a = assign[i] (coalesced)
+	kb.OpImm(isa.SHLI, 19, 18, 2)
+	kb.Op3(isa.ADD, 20, kernel.RegParam0+3, 19)
+	kb.Ld(21, 20, 0) // w = weight[a] (indirect)
+	kb.Op3(isa.ADD, 22, kernel.RegParam0+4, 19)
+	kb.Ld(23, 22, 0)                          // cnt = count[a] (indirect)
+	kb.Op3(isa.ADD, 24, kernel.RegParam0, 16) // &p[0][i]
+	kb.MovI(25, 0)
+	for d := 0; d < dims; d++ {
+		kb.Ld(27, 24, int64(4*d*n))                // p[d][i] (streamed)
+		kb.Ldc(26, kernel.RegParam0+1, int64(4*d)) // cen[d] (constant cache)
+		kb.Op3(isa.FSUB, 28, 27, 26)
+		kb.Op4(isa.FMA, 25, 28, 28, 25)
+	}
+	kb.Op3(isa.FMUL, 29, 25, 21) // dist * weight
+	kb.Op3(isa.FADD, 29, 29, 23) // + count
+	kb.Op3(isa.ADD, 30, kernel.RegParam0+5, 16)
+	kb.St(30, 0, 29)
+	kb.Exit()
+	k := kb.MustBuild("stcl", n/256, 256, pts, cen, assignA, weight, count, cost)
+
+	return &Workload{
+		Abbr:   "STCL",
+		Desc:   "Streamcluster weighted distance pass [Rodinia]",
+		Input:  fmtN(n) + " points, " + itoa(dims) + " dims",
+		Kernel: k,
+		Verify: func() error {
+			for i := 0; i < n; i++ {
+				var dist float32
+				for d := 0; d < dims; d++ {
+					dd := f32sub(pv[d*n+i], cv[d])
+					dist = f32fma(dd, dd, dist)
+				}
+				want := f32add(f32mul(dist, wv[asv[i]]), cntv[asv[i]])
+				if err := expectF32(mem, cost, i, want, "cost"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

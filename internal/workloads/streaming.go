@@ -1,0 +1,296 @@
+package workloads
+
+import (
+	"ndpgpu/internal/isa"
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/vm"
+)
+
+func init() {
+	register("VADD", buildVADD)
+	register("FWT", buildFWT)
+	register("SP", buildSP)
+	register("BPROP", buildBPROP)
+}
+
+// buildVADD is the Figure 2 running example: C[i] = A[i] + B[i].
+// Table 1: 50M elements, one 4-instruction offload block; scaled here.
+func buildVADD(mem *vm.System, scale int) *Workload {
+	n := 256 * 1024 * scale
+	a := allocF32(mem, n)
+	b := allocF32(mem, n)
+	c := allocF32(mem, n)
+	r := rng()
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = r.Float32()
+		bv[i] = r.Float32()
+	}
+	fillF32(mem, a, n, func(i int) float32 { return av[i] })
+	fillF32(mem, b, n, func(i int) float32 { return bv[i] })
+
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 17, kernel.RegParam0, 16)
+	kb.Op3(isa.ADD, 18, kernel.RegParam0+1, 16)
+	kb.Op3(isa.ADD, 19, kernel.RegParam0+2, 16)
+	kb.Ld(20, 17, 0)
+	kb.Ld(21, 18, 0)
+	kb.Op3(isa.FADD, 22, 20, 21)
+	kb.St(19, 0, 22)
+	kb.Exit()
+	k := kb.MustBuild("vadd", n/256, 256, a, b, c)
+
+	return &Workload{
+		Abbr:   "VADD",
+		Desc:   "Vector addition [CUDA SDK]",
+		Input:  fmtN(n) + " elements",
+		Kernel: k,
+		Verify: func() error {
+			for i := 0; i < n; i++ {
+				if err := expectF32(mem, c, i, f32add(av[i], bv[i]), "C"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// buildFWT is one butterfly stage of a fast Walsh transform: for pair
+// (i, i+stride): a' = a+b, b' = a-b. Table 1: 2^22 data; blocks of 16 and 4
+// instructions. Two consecutive sub-stages are unrolled into the kernel to
+// give both a larger and a smaller block.
+func buildFWT(mem *vm.System, scale int) *Workload {
+	n := 512 * 1024 * scale // elements, power of two
+	stride := n / 4
+	data := allocF32(mem, n)
+	r := rng()
+	dv := make([]float32, n)
+	for i := range dv {
+		dv[i] = r.Float32()*2 - 1
+	}
+	fillF32(mem, data, n, func(i int) float32 { return dv[i] })
+
+	// Thread t handles pair (t, t+stride) within its half-group. With
+	// groups of 2*stride, index = (t/stride)*2*stride + t%stride.
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHRI, 16, kernel.RegGTID, shiftFor(stride)) // g = t/stride
+	kb.OpImm(isa.SHLI, 16, 16, shiftFor(stride)+1)           // g*2*stride
+	kb.OpImm(isa.ANDI, 17, kernel.RegGTID, int64(stride-1))  // t%stride
+	kb.Op3(isa.ADD, 18, 16, 17)                              // i
+	kb.OpImm(isa.SHLI, 18, 18, 2)
+	kb.Op3(isa.ADD, 19, kernel.RegParam0, 18) // &data[i]
+	kb.Ld(20, 19, 0)
+	kb.Ld(21, 19, int64(4*stride))
+	kb.Op3(isa.FADD, 22, 20, 21)
+	kb.Op3(isa.FSUB, 23, 20, 21)
+	kb.St(19, 0, 22)
+	kb.St(19, int64(4*stride), 23)
+	kb.Exit()
+	k := kb.MustBuild("fwt", (n/2)/256, 256, data)
+
+	return &Workload{
+		Abbr:   "FWT",
+		Desc:   "Fast Walsh Transform butterfly [CUDA SDK]",
+		Input:  fmtN(n) + " points, stride " + fmtN(stride),
+		Kernel: k,
+		Verify: func() error {
+			for t := 0; t < n/2; t++ {
+				i := (t/stride)*2*stride + t%stride
+				a, b := dv[i], dv[i+stride]
+				if err := expectF32(mem, data, i, f32add(a, b), "data"); err != nil {
+					return err
+				}
+				if err := expectF32(mem, data, i+stride, f32sub(a, b), "data"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// buildSP computes partial scalar products: thread t of pair v accumulates
+// A[v][t+k*T]*B[v][t+k*T] over k, writing a per-thread partial sum.
+// Table 1: 512 32K-element vectors, one 3-instruction block; here the inner
+// loop is unrolled by two so the block amortizes its accumulator transfer.
+func buildSP(mem *vm.System, scale int) *Workload {
+	const threadsPerVec = 256
+	const iters = 4 // elements per thread = 2*iters (unrolled by 2)
+	vecs := 512 * scale
+	elems := threadsPerVec * 2 * iters
+	n := vecs * elems
+	a := allocF32(mem, n)
+	b := allocF32(mem, n)
+	out := allocF32(mem, vecs*threadsPerVec)
+	r := rng()
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = r.Float32()
+		bv[i] = r.Float32()
+	}
+	fillF32(mem, a, n, func(i int) float32 { return av[i] })
+	fillF32(mem, b, n, func(i int) float32 { return bv[i] })
+
+	kb := kernel.NewBuilder()
+	// Element base: gtid's vector = gtid/T, lane = gtid%T.
+	kb.OpImm(isa.SHRI, 16, kernel.RegGTID, 8) // v
+	kb.MovI(17, int64(elems))
+	kb.Op3(isa.MUL, 16, 16, 17)                             // v*elems
+	kb.OpImm(isa.ANDI, 17, kernel.RegGTID, threadsPerVec-1) // lane
+	kb.Op3(isa.ADD, 16, 16, 17)                             // first element index
+	kb.OpImm(isa.SHLI, 16, 16, 2)
+	kb.Op3(isa.ADD, 17, kernel.RegParam0, 16)   // &A[e]
+	kb.Op3(isa.ADD, 18, kernel.RegParam0+1, 16) // &B[e]
+	kb.MovI(20, 0)                              // acc
+	kb.MovI(21, int64(iters))
+	loop := kb.NewLabel()
+	kb.Bind(loop)
+	kb.Ld(22, 17, 0)
+	kb.Ld(23, 18, 0)
+	kb.Ld(24, 17, int64(4*threadsPerVec))
+	kb.Ld(25, 18, int64(4*threadsPerVec))
+	kb.Op4(isa.FMA, 20, 22, 23, 20)
+	kb.Op4(isa.FMA, 20, 24, 25, 20)
+	kb.OpImm(isa.ADDI, 17, 17, int64(8*threadsPerVec))
+	kb.OpImm(isa.ADDI, 18, 18, int64(8*threadsPerVec))
+	kb.OpImm(isa.ADDI, 21, 21, -1)
+	kb.MovI(26, 0)
+	kb.Setp(isa.CmpGT, 27, 21, 26)
+	kb.Brp(27, loop)
+	kb.OpImm(isa.SHLI, 28, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 28, kernel.RegParam0+2, 28)
+	kb.St(28, 0, 20)
+	kb.Exit()
+	k := kb.MustBuild("sp", vecs*threadsPerVec/256, 256, a, b, out)
+
+	return &Workload{
+		Abbr:   "SP",
+		Desc:   "Scalar product partials [CUDA SDK]",
+		Input:  fmtN(vecs) + " vectors x " + fmtN(elems) + " elements",
+		Kernel: k,
+		Verify: func() error {
+			for g := 0; g < vecs*threadsPerVec; g++ {
+				v, lane := g/threadsPerVec, g%threadsPerVec
+				e := v*elems + lane
+				var acc float32
+				for it := 0; it < iters; it++ {
+					acc = f32fma(av[e], bv[e], acc)
+					acc = f32fma(av[e+threadsPerVec], bv[e+threadsPerVec], acc)
+					e += 2 * threadsPerVec
+				}
+				if err := expectF32(mem, out, g, acc, "out"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// buildBPROP models the back-propagation weight-adjust pass: every output
+// unit reads the same 17-float (68-byte) hidden-layer vector plus its
+// per-unit momentum coefficients — small, constant structures that §7.1
+// identifies as the reason NDP degrades BPROP: they hit in the GPU caches,
+// but offloaded blocks ship them off-chip in every RDF response, and that
+// GPU->NSU direction of the links becomes the bottleneck.
+func buildBPROP(mem *vm.System, scale int) *Workload {
+	const hiddenN = 17 // 68 bytes, as in the paper
+	n := 48 * 1024 * scale
+	hidden := allocF32(mem, hiddenN)
+	momentum := allocF32(mem, hiddenN) // second hot structure (eta/momentum terms)
+	w := allocF32(mem, hiddenN*n)      // w[h][i], feature-major (coalesced)
+	out := allocF32(mem, n)
+	r := rng()
+	hv := make([]float32, hiddenN)
+	mv := make([]float32, hiddenN)
+	for h := range hv {
+		hv[h] = r.Float32()
+		mv[h] = r.Float32()*0.5 + 0.5
+	}
+	wv := make([]float32, hiddenN*n)
+	for i := range wv {
+		wv[i] = r.Float32() - 0.5
+	}
+	fillF32(mem, hidden, hiddenN, func(i int) float32 { return hv[i] })
+	fillF32(mem, momentum, hiddenN, func(i int) float32 { return mv[i] })
+	fillF32(mem, w, hiddenN*n, func(i int) float32 { return wv[i] })
+
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 17, kernel.RegParam0+2, 16) // &w[0][i]
+	kb.MovI(20, 0)                              // acc
+	// Fully unrolled over the hidden units: one large straight-line block
+	// (Table 1 reports blocks of 29 and 23 instructions for BPROP).
+	for h := 0; h < hiddenN; h++ {
+		wr := isa.Reg(21)
+		hr := isa.Reg(22)
+		mr := isa.Reg(23)
+		kb.Ld(wr, 17, int64(4*h*n))               // w[h][i]: streamed (first: spreads targets)
+		kb.Ld(hr, kernel.RegParam0, int64(4*h))   // hidden[h]: broadcast, hot
+		kb.Ld(mr, kernel.RegParam0+1, int64(4*h)) // momentum[h]: broadcast, hot
+		kb.Op3(isa.FMUL, 24, hr, mr)
+		kb.Op4(isa.FMA, 20, 24, wr, 20)
+	}
+	kb.Op3(isa.ADD, 25, kernel.RegParam0+3, 16)
+	kb.St(25, 0, 20)
+	kb.Exit()
+	k := kb.MustBuild("bprop", n/256, 256, hidden, momentum, w, out)
+
+	return &Workload{
+		Abbr:   "BPROP",
+		Desc:   "Back propagation weight adjust [Rodinia]",
+		Input:  fmtN(n) + " units, 68 B hidden structure",
+		Kernel: k,
+		Verify: func() error {
+			for i := 0; i < n; i++ {
+				var acc float32
+				for h := 0; h < hiddenN; h++ {
+					acc = f32fma(f32mul(hv[h], mv[h]), wv[h*n+i], acc)
+				}
+				if err := expectF32(mem, out, i, acc, "out"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// shiftFor returns log2(n) for power-of-two n.
+func shiftFor(n int) int64 {
+	s := int64(0)
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// fmtN renders a count compactly.
+func fmtN(n int) string {
+	switch {
+	case n%(1<<20) == 0:
+		return itoa(n>>20) + "M"
+	case n%(1<<10) == 0:
+		return itoa(n>>10) + "K"
+	default:
+		return itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

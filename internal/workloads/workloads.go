@@ -1,0 +1,115 @@
+// Package workloads provides the ten Table 1 benchmark kernels, written in
+// the virtual ISA with the same access-pattern archetypes as the paper's
+// suite (Rodinia, Parboil, CUDA SDK, Polybench):
+//
+//	BPROP  back propagation: a hot 68-byte constant structure read by every
+//	       offload block (the §7.1 NDP pathology)
+//	BFS    breadth-first search on a fixed-degree graph: divergent indirect
+//	       loads (§4.4)
+//	BICG   BiCGStab kernel: row and column matrix-vector products
+//	FWT    fast Walsh transform butterfly stage
+//	KMN    k-means assignment: streamed points, cached centroids
+//	MINIFE finite-element SpMV in ELL format with indirect gathers
+//	SP     scalar product with strided partial dot products
+//	STN    5-point stencil with strong L2 locality (the cache-aware
+//	       suppression case of §7.3)
+//	STCL   streamcluster distance pass with indirect membership loads
+//	VADD   vector addition (the Figure 2 running example)
+//
+// Problem sizes are scaled down from Table 1 so the full suite simulates in
+// seconds; each builder takes a scale factor, and EXPERIMENTS.md records
+// the sizes used.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/vm"
+)
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	Abbr   string
+	Desc   string
+	Input  string // human-readable problem-size description
+	Kernel *kernel.Kernel
+	// Verify checks the output arrays against a host-computed reference.
+	Verify func() error
+}
+
+// Builder constructs a workload into the given memory at the given scale.
+type Builder func(mem *vm.System, scale int) *Workload
+
+var registry = map[string]Builder{}
+
+func register(abbr string, b Builder) { registry[abbr] = b }
+
+// Abbrs returns the workload names in the paper's Table 1 order.
+func Abbrs() []string {
+	out := make([]string, 0, len(registry))
+	for a := range registry {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named workload.
+func Build(abbr string, mem *vm.System, scale int) (*Workload, error) {
+	b, ok := registry[abbr]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", abbr, Abbrs())
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return b(mem, scale), nil
+}
+
+// Reference float32 helpers mirroring isa.Eval exactly (explicit rounding,
+// no fused multiply-add).
+
+func f32add(a, b float32) float32    { return a + b }
+func f32sub(a, b float32) float32    { return a - b }
+func f32mul(a, b float32) float32    { return a * b }
+func f32fma(a, b, c float32) float32 { return float32(a*b) + c }
+
+// arrays
+
+// allocF32 reserves n float32 words and returns the base address.
+func allocF32(mem *vm.System, n int) uint64 { return mem.Alloc(4 * n) }
+
+func fillF32(mem *vm.System, base uint64, n int, f func(i int) float32) {
+	for i := 0; i < n; i++ {
+		mem.WriteF32(base+uint64(4*i), f(i))
+	}
+}
+
+func fillU32(mem *vm.System, base uint64, n int, f func(i int) uint32) {
+	for i := 0; i < n; i++ {
+		mem.Write32(base+uint64(4*i), f(i))
+	}
+}
+
+// expectF32 compares one output element.
+func expectF32(mem *vm.System, base uint64, i int, want float32, what string) error {
+	got := mem.ReadF32(base + uint64(4*i))
+	if got != want {
+		return fmt.Errorf("%s[%d] = %v, want %v", what, i, got, want)
+	}
+	return nil
+}
+
+func expectU32(mem *vm.System, base uint64, i int, want uint32, what string) error {
+	got := mem.Read32(base + uint64(4*i))
+	if got != want {
+		return fmt.Errorf("%s[%d] = %d, want %d", what, i, got, want)
+	}
+	return nil
+}
+
+// rng returns a deterministic generator for workload data.
+func rng() *rand.Rand { return rand.New(rand.NewSource(12345)) }
