@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test test-short test-race vet bench bench-engine clean
+
+build:
+	$(GO) build ./...
+
+# Full suite, including the per-workload simulations and the idle-skip
+# bit-identity differential (several minutes).
+test:
+	$(GO) test ./...
+
+# Unit tests only: skips the full-simulation tests.
+test-short:
+	$(GO) test -short ./...
+
+# Race detector over the short suite (covers the parallel sweep runner).
+test-race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Macro benchmark: one full VADD simulation per iteration (see BENCH_pr1.json
+# for the recorded before/after numbers).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSingleRunVADD -benchmem -benchtime 5x .
+
+# Micro benchmark: engine edge dispatch, idle skipping on/off.
+bench-engine:
+	$(GO) test -run '^$$' -bench BenchmarkEngineIdleSkip -benchmem ./internal/timing
+
+clean:
+	$(GO) clean ./...

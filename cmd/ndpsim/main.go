@@ -19,6 +19,7 @@ import (
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/energy"
+	"ndpgpu/internal/prof"
 	"ndpgpu/internal/sim"
 	"ndpgpu/internal/vm"
 	"ndpgpu/internal/workloads"
@@ -62,8 +63,16 @@ func main() {
 		verify   = flag.Bool("verify", true, "check functional output against the host reference")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, a := range workloads.Abbrs() {

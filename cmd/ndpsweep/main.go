@@ -18,6 +18,7 @@ import (
 
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/experiments"
+	"ndpgpu/internal/prof"
 	"ndpgpu/internal/report"
 )
 
@@ -36,11 +37,21 @@ func writeCSV(dir, name string, t *report.Table) error {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run")
-		scale  = flag.Int("scale", 1, "problem-size scale factor")
-		csvDir = flag.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
+		exp     = flag.String("exp", "all", "experiment to run")
+		scale   = flag.Int("scale", 1, "problem-size scale factor")
+		csvDir  = flag.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndpsweep:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
 	cfg := config.Default()
 	w := os.Stdout
 	start := time.Now()

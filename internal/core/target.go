@@ -9,7 +9,13 @@ func SelectTarget(hmcs []int, numHMCs int) int {
 	if len(hmcs) == 0 {
 		return 0
 	}
-	counts := make([]int, numHMCs)
+	var cbuf [32]int // systems have at most a few HMCs; avoid a per-call slice
+	var counts []int
+	if numHMCs > len(cbuf) {
+		counts = make([]int, numHMCs)
+	} else {
+		counts = cbuf[:numHMCs]
+	}
 	for _, h := range hmcs {
 		counts[h]++
 	}

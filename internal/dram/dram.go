@@ -198,3 +198,31 @@ func (v *Vault) issueColumn(r *Request, now timing.PS, rowHit bool) {
 
 // Idle reports whether the vault has no queued or in-flight work.
 func (v *Vault) Idle() bool { return len(v.queue) == 0 && len(v.done) == 0 }
+
+// NextWorkAt returns the earliest time the vault could do work: now if any
+// request is queued or any completion is due, otherwise the earliest pending
+// completion or refresh edge. The refresh timer is a scheduled event the
+// idle-skip engine must never skip past, so it always bounds the result.
+func (v *Vault) NextWorkAt(now timing.PS) timing.PS {
+	if len(v.queue) > 0 {
+		return now
+	}
+	wake := timing.Never
+	for _, c := range v.done {
+		if c.at <= now {
+			return now
+		}
+		if c.at < wake {
+			wake = c.at
+		}
+	}
+	if v.cfg.TREFIps > 0 {
+		if v.nextRefresh <= now {
+			return now
+		}
+		if v.nextRefresh < wake {
+			wake = v.nextRefresh
+		}
+	}
+	return wake
+}

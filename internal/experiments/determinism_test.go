@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/sim"
+)
+
+// TestRunDeterminism guards the simulator's reproducibility contract: the
+// same configuration and workload must produce bit-identical results on
+// every run, regardless of the Go scheduler. A single simulation is
+// sequential by construction, so any divergence here means nondeterministic
+// state sneaked into the model (map iteration order, time-based seeding,
+// shared scratch between runs).
+func TestRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	cfg := config.Default()
+	cfg.GPU.NumSMs = 4
+
+	one := func() *Run {
+		r := RunOne(cfg, "VADD", sim.DynCache, 1)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		return r
+	}
+
+	first := one()
+	second := one()
+
+	// Third run on a single OS thread: scheduling must not matter.
+	prev := runtime.GOMAXPROCS(1)
+	serial := one()
+	runtime.GOMAXPROCS(prev)
+
+	for _, tc := range []struct {
+		name string
+		r    *Run
+	}{{"repeat", second}, {"gomaxprocs=1", serial}} {
+		if first.TimePS != tc.r.TimePS {
+			t.Errorf("%s: elapsed time diverged: %d vs %d ps", tc.name, first.TimePS, tc.r.TimePS)
+		}
+		if first.Stats.SMCycles != tc.r.Stats.SMCycles {
+			t.Errorf("%s: SM cycles diverged: %d vs %d", tc.name, first.Stats.SMCycles, tc.r.Stats.SMCycles)
+		}
+		if !reflect.DeepEqual(first.Stats, tc.r.Stats) {
+			t.Errorf("%s: stats diverged:\nfirst: %+v\nother: %+v", tc.name, first.Stats, tc.r.Stats)
+		}
+		if first.Energy != tc.r.Energy {
+			t.Errorf("%s: energy diverged", tc.name)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/sim"
+)
+
+// TestIdleSkipEquivalence proves the engine's idle skipping is
+// observationally invisible: for every workload in the suite, a run with
+// skipping enabled produces bit-identical results — cycle counts, elapsed
+// time, the complete statistics bundle, and the energy model inputs — to the
+// dense reference run that fires every clock edge.
+func TestIdleSkipEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	cfg := config.Default()
+	cfg.GPU.NumSMs = 4
+	for _, wl := range Workloads() {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			t.Parallel()
+			dense := RunOneWith(cfg, wl, sim.DynCache, 1, func(m *sim.Machine) {
+				m.SetIdleSkip(false)
+			})
+			if dense.Err != nil {
+				t.Fatal(dense.Err)
+			}
+			skip := RunOneWith(cfg, wl, sim.DynCache, 1, func(m *sim.Machine) {
+				m.SetIdleSkip(true)
+			})
+			if skip.Err != nil {
+				t.Fatal(skip.Err)
+			}
+			if dense.TimePS != skip.TimePS {
+				t.Errorf("elapsed time diverged: dense=%d skip=%d ps", dense.TimePS, skip.TimePS)
+			}
+			if dense.Stats.SMCycles != skip.Stats.SMCycles {
+				t.Errorf("SM cycles diverged: dense=%d skip=%d", dense.Stats.SMCycles, skip.Stats.SMCycles)
+			}
+			if !reflect.DeepEqual(dense.Stats, skip.Stats) {
+				t.Errorf("stats diverged:\ndense: %+v\nskip:  %+v", dense.Stats, skip.Stats)
+			}
+			if dense.Energy != skip.Energy {
+				t.Errorf("energy diverged:\ndense: %+v\nskip:  %+v", dense.Energy, skip.Energy)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/energy"
@@ -47,6 +48,13 @@ func (r *Run) Speedup(base *Run) float64 {
 // RunOne builds the workload, runs it under the mode, verifies the output,
 // and computes energy.
 func RunOne(cfg config.Config, abbr string, mode sim.Mode, scale int) *Run {
+	return RunOneWith(cfg, abbr, mode, scale, nil)
+}
+
+// RunOneWith is RunOne with a hook applied to the assembled machine before
+// it runs — used by the differential tests to toggle idle skipping and by
+// callers that install tracers.
+func RunOneWith(cfg config.Config, abbr string, mode sim.Mode, scale int, prep func(*sim.Machine)) *Run {
 	run := &Run{Workload: abbr, Mode: mode.Name, Cfg: cfg}
 	mem := vm.New(cfg)
 	w, err := workloads.Build(abbr, mem, scale)
@@ -58,6 +66,9 @@ func RunOne(cfg config.Config, abbr string, mode sim.Mode, scale int) *Run {
 	if err != nil {
 		run.Err = err
 		return run
+	}
+	if prep != nil {
+		prep(m)
 	}
 	res, err := m.Run(0)
 	if err != nil {
@@ -81,30 +92,36 @@ type job struct {
 	cfg      config.Config
 }
 
-// runAll executes the jobs concurrently (each machine is independent) and
-// returns results keyed by workload|mode.
+// runAll executes the jobs on a bounded worker pool (each machine is
+// independent) and returns results keyed by workload|mode. Workers pull job
+// indices from a shared counter and write into an index-addressed slice, so
+// the result set is deterministic regardless of scheduling order.
 func runAll(jobs []job, scale int) map[string]*Run {
-	type keyed struct {
-		key string
-		run *Run
+	runs := make([]*Run, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	out := make(chan keyed, len(jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var next int64
 	var wg sync.WaitGroup
-	for _, j := range jobs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(j job) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out <- keyed{key: j.workload + "|" + j.mode.Name, run: RunOne(j.cfg, j.workload, j.mode, scale)}
-		}(j)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				runs[i] = RunOne(j.cfg, j.workload, j.mode, scale)
+			}
+		}()
 	}
 	wg.Wait()
-	close(out)
 	res := make(map[string]*Run, len(jobs))
-	for k := range out {
-		res[k.key] = k.run
+	for i, j := range jobs {
+		res[j.workload+"|"+j.mode.Name] = runs[i]
 	}
 	return res
 }

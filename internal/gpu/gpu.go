@@ -161,6 +161,71 @@ func (g *GPU) Tick(now timing.PS) {
 	}
 }
 
+// NextWorkAt implements timing.IdleHint for the SM clock domain: a pure read
+// over the per-SM mirror caches, which empty dense ticks maintain. The epoch
+// controller runs on a fixed cycle timer that must fire densely, so the wake
+// time never crosses the next epoch boundary.
+func (g *GPU) NextWorkAt(now timing.PS) timing.PS {
+	if TraceGTID >= 0 {
+		return now // per-cycle trace prints: never skip
+	}
+	wake := timing.Never
+	for _, sm := range g.sms {
+		w := sm.nextWorkAt(now)
+		if w <= now {
+			return now
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	boundary := (g.cycles/g.cfg.NDP.EpochCycles + 1) * g.cfg.NDP.EpochCycles * g.smPeriod
+	if boundary < wake {
+		wake = boundary
+	}
+	return wake
+}
+
+// SkipIdle implements timing.IdleSkipper: credit n provably-empty SM cycles.
+// Each SM defers the per-cycle effects into its pending counter, flushed
+// before the affected state is next observed. The epoch counter check is safe
+// to omit because NextWorkAt never lets a skip reach an epoch boundary cycle.
+func (g *GPU) SkipIdle(n int64) {
+	g.cycles += n
+	for _, sm := range g.sms {
+		sm.pendingIdle += n
+	}
+}
+
+// xbarTicker drives XbarTick with an idle hint: the crossbar domain has
+// work exactly when an L2 slice has queued requests (including head-blocked
+// retries, which charge MSHR stalls each cycle) or an inbox message has
+// arrived or is scheduled. Slice fills are triggered by inbox arrivals, so
+// waiters need no separate wake term.
+type xbarTicker struct{ g *GPU }
+
+// Tick implements timing.Ticker.
+func (x xbarTicker) Tick(now timing.PS) { x.g.XbarTick(now) }
+
+// NextWorkAt implements timing.IdleHint.
+func (x xbarTicker) NextWorkAt(now timing.PS) timing.PS {
+	for _, s := range x.g.slices {
+		if len(s.queue) > 0 {
+			return now
+		}
+	}
+	if at, ok := x.g.fab.GPUInbox().NextAt(); ok {
+		if at <= now {
+			return now
+		}
+		return at
+	}
+	return timing.Never
+}
+
+// XbarTicker returns the crossbar-domain ticker for this GPU.
+func (g *GPU) XbarTicker() timing.Ticker { return xbarTicker{g} }
+
 // XbarTick routes arrived messages and serves the L2 slices (crossbar/L2
 // clock domain).
 func (g *GPU) XbarTick(now timing.PS) {
@@ -238,6 +303,7 @@ func (g *GPU) Cycles() int64 { return g.cycles }
 func (g *GPU) CollectCacheStats() {
 	var l1 stats.CacheStats
 	for _, sm := range g.sms {
+		sm.flushIdle() // apply deferred idle cycles before reading counters
 		c := sm.l1.Stats
 		l1.Accesses += c.Accesses
 		l1.Hits += c.Hits

@@ -81,7 +81,8 @@ type warp struct {
 	regReady    [isa.NumRegs]timing.PS
 	outstanding [isa.NumRegs]int16
 
-	memq []microOp
+	memq    []microOp
+	memqBuf []microOp // backing array reused across memory instructions
 
 	off      *offCtx // non-nil while inside an offloaded block instance
 	inRegion bool    // inside a block executing normally (not offloaded)
@@ -125,6 +126,51 @@ type SM struct {
 	greedyWarp int
 	rrStart    int
 	order      []int // scratch for schedOrder
+	orderKey   int   // greedyWarp (gto) or rrStart (rr) the order was built for
+
+	// live lists the slots holding non-exited warps in ascending order, so
+	// the dense tick visits only occupied slots instead of scanning the whole
+	// warp array. Launches and exits mark it dirty; the next dense tick
+	// rebuilds it (stale entries are re-screened, so a mid-tick exit is
+	// harmless).
+	live      []int
+	liveDirty bool
+
+	// Per-slot dense-tick block cache: while slotWake[slot] > now, the warp's
+	// tick reduces to its fixed per-cycle effects — a dependency-stall flag,
+	// plus (slotProbe) the L1I re-probe a scoreboard-blocked warp performs —
+	// without decoding or rescanning the scoreboard. Entries are written by
+	// processMemq (translation wait, no probe) and tryIssue (scoreboard
+	// block, probe) and cleared whenever the blocking condition can lift
+	// early: a load-line completion, an ack write-back, or any L1I fill
+	// (which could evict the probed code line).
+	// slotLine mirrors the blocked warp's fetch line so the replay never has
+	// to dereference the (large, cache-unfriendly) warp struct at all.
+	slotWake  []timing.PS
+	slotProbe []bool
+	slotLine  []uint64
+
+	// Hot-path scratch buffers, reused across cycles so the per-instruction
+	// work allocates nothing: refill's free-slot scan, coalesce's line list,
+	// and setupMem's per-line home vaults.
+	freeScratch  []int
+	lineScratch  []core.LineAccess
+	homesScratch []int
+
+	// Idle-skip mirror cache (see computeIdle). Valid until the SM runs a
+	// full tick or an external event (ack delivery, L1 fill) dirties it.
+	idleValid bool
+	idleWake  timing.PS
+	idleKind  int8   // stats.StallKind an idle cycle records, or -1 for none
+	idleLk    []bool // per slot: warp re-probes the L1I every blocked cycle
+	idleLkN   int64  // number of set idleLk flags
+	idleLkSch []int  // slots with set flags, in certification-time sched order
+
+	// pendingIdle counts certified-idle cycles whose per-cycle effects have
+	// not been applied yet. Idle ticks and domain-level skips only increment
+	// it; flushIdle replays the batch before anything can observe the
+	// affected state (a dense tick, a mirror-dirtying event, finalization).
+	pendingIdle int64
 }
 
 // outPkt is a packet waiting in the SM's NDP packet buffers.
@@ -142,13 +188,17 @@ func newSM(g *GPU, id int) *SM {
 		MSHRs:     1,
 	}
 	return &SM{
-		id:      id,
-		g:       g,
-		l1:      cache.New(g.cfg.GPU.L1D),
-		l1i:     cache.New(g.cfg.GPU.L1I),
-		tlb:     cache.New(tlbGeom),
-		waiters: make(map[uint64][]loadWaiter),
-		warps:   make([]*warp, g.cfg.WarpsPerSM()),
+		id:        id,
+		g:         g,
+		l1:        cache.New(g.cfg.GPU.L1D),
+		l1i:       cache.New(g.cfg.GPU.L1I),
+		tlb:       cache.New(tlbGeom),
+		waiters:   make(map[uint64][]loadWaiter),
+		warps:     make([]*warp, g.cfg.WarpsPerSM()),
+		idleLk:    make([]bool, g.cfg.WarpsPerSM()),
+		slotWake:  make([]timing.PS, g.cfg.WarpsPerSM()),
+		slotProbe: make([]bool, g.cfg.WarpsPerSM()),
+		slotLine:  make([]uint64, g.cfg.WarpsPerSM()),
 	}
 }
 
@@ -187,7 +237,7 @@ func (s *SM) refill() {
 	limit := s.maxResidentCTAs()
 	if len(s.ctas) < limit && s.g.nextCTA < k.GridDim {
 		// Find contiguous-enough free slots.
-		free := make([]int, 0, warpsPerCTA)
+		free := s.freeScratch[:0]
 		for slot := range s.warps {
 			if s.warps[slot] == nil {
 				free = append(free, slot)
@@ -197,6 +247,7 @@ func (s *SM) refill() {
 			}
 		}
 		if len(free) < warpsPerCTA {
+			s.freeScratch = free[:0]
 			return
 		}
 		ctaID := s.g.nextCTA
@@ -206,9 +257,12 @@ func (s *SM) refill() {
 			w := &warp{slot: free[wi], cta: cta}
 			s.initWarp(w, ctaID, wi)
 			s.warps[free[wi]] = w
+			s.slotWake[free[wi]] = 0
 			cta.warps = append(cta.warps, w)
 		}
+		s.freeScratch = free[:0]
 		s.ctas = append(s.ctas, cta)
+		s.liveDirty = true
 	}
 }
 
@@ -238,50 +292,81 @@ func (s *SM) initWarp(w *warp, ctaID, warpInCTA int) {
 
 // tick advances the SM by one core clock.
 func (s *SM) tick(now timing.PS) {
+	if s.idleValid && s.idleWake > now {
+		// A prior computeIdle certified that nothing can issue strictly
+		// before idleWake and no external event has dirtied the mirror: the
+		// cycle's effects are deferred until something can observe them.
+		s.pendingIdle++
+		return
+	}
+	s.flushIdle()
+	s.idleValid = false
+	preCTA := s.g.nextCTA
 	s.refill()
+	launched := s.g.nextCTA != preCTA
 	s.aluUsed, s.lsuUsed, s.issued = 0, 0, 0
 	s.sawExecBlock, s.sawDepBlock, s.sawCreditBlock = false, false, false
 
+	sent := len(s.readyQ) > 0
 	s.drainReady(now)
 
-	anyLive := false
-	for _, slot := range s.schedOrder() {
-		w := s.warps[slot]
-		if w == nil || w.exited {
-			continue
-		}
-		anyLive = true
-		if w.atBarrier || w.waitAck {
-			continue
-		}
-		if len(w.memq) > 0 {
-			s.processMemq(w, now)
-			continue
-		}
-		if s.issued >= s.g.cfg.GPU.MaxIssue {
-			continue
-		}
-		before := s.issued
-		s.tryIssue(w, now)
-		if s.issued > before {
-			s.greedyWarp = slot
-		}
+	if s.liveDirty {
+		s.rebuildLive()
 	}
+	anyLive := false
 	if s.g.cfg.GPU.SchedulerKind == "rr" {
+		for _, slot := range s.schedOrder() {
+			w := s.warps[slot]
+			if w == nil || w.exited {
+				continue
+			}
+			anyLive = true
+			s.stepSlot(w, slot, now)
+		}
 		s.rrStart = (s.rrStart + 1) % len(s.warps)
+	} else {
+		// GTO: greedy slot first, then the live slots in ascending order —
+		// the same visit sequence schedOrder produces, without touching the
+		// empty and exited slots.
+		// A slot with a live block-cache entry necessarily holds a live,
+		// non-barrier, non-ack warp (blocked warps cannot exit and exiting
+		// warps never leave an entry behind), so the replay runs off the
+		// SM-local slot arrays without dereferencing the warp at all.
+		gslot := s.greedyWarp
+		if s.slotWake[gslot] > now {
+			anyLive = true
+			s.blockedReplay(gslot)
+		} else if w := s.warps[gslot]; w != nil && !w.exited {
+			anyLive = true
+			s.stepSlot(w, gslot, now)
+		}
+		for _, slot := range s.live {
+			if slot == gslot {
+				continue
+			}
+			if s.slotWake[slot] > now {
+				anyLive = true
+				s.blockedReplay(slot)
+				continue
+			}
+			w := s.warps[slot]
+			if w == nil || w.exited {
+				continue
+			}
+			anyLive = true
+			s.stepSlot(w, slot, now)
+		}
 	}
 
-	if !anyLive {
-		if s.g.nextCTA < s.g.prog.Kernel.GridDim {
-			s.g.st.AddNoIssue(stats.WarpIdle)
-		}
-		return
-	}
 	if s.issued > 0 {
 		s.g.st.IssueCycles++
 		return
 	}
 	switch {
+	case !anyLive:
+		if s.g.nextCTA < s.g.prog.Kernel.GridDim {
+			s.g.st.AddNoIssue(stats.WarpIdle)
+		}
 	case s.sawExecBlock:
 		s.g.st.AddNoIssue(stats.ExecUnitBusy)
 	case s.sawDepBlock:
@@ -291,6 +376,313 @@ func (s *SM) tick(now timing.PS) {
 		// have no issuable instruction: the paper's "warp idle" class.
 		s.g.st.AddNoIssue(stats.WarpIdle)
 	}
+	if !launched && !sent && s.lsuUsed == 0 {
+		// The tick issued nothing, launched nothing, sent nothing, and served
+		// no memory micro-op: certify (and cache) how long this idleness
+		// lasts, so the following empty ticks reduce to skipIdle(1) and the
+		// engine can fast-forward the domain when every SM agrees.
+		s.computeIdle(now)
+	}
+}
+
+// stepSlot runs the per-warp portion of a dense tick for one live warp.
+func (s *SM) stepSlot(w *warp, slot int, now timing.PS) {
+	if w.atBarrier || w.waitAck {
+		return
+	}
+	if s.slotWake[slot] > now {
+		s.blockedReplay(slot)
+		return
+	}
+	if len(w.memq) > 0 {
+		s.processMemq(w, now)
+		return
+	}
+	if s.issued >= s.g.cfg.GPU.MaxIssue {
+		return
+	}
+	before := s.issued
+	s.tryIssue(w, now)
+	if s.issued > before {
+		s.greedyWarp = slot
+	}
+}
+
+// blockedReplay applies the cached per-cycle effects of a blocked warp: the
+// stall-classification flag, plus (slotProbe) the L1I re-probe a
+// scoreboard-blocked warp performs while the issue width is not exhausted —
+// a certified hit, since any fill since certification cleared the entry. A
+// translation-wait warp (no probe) follows processMemq's classification:
+// saturated LSUs read as an execution-unit block, otherwise the wait is a
+// dependency stall.
+func (s *SM) blockedReplay(slot int) {
+	if !s.slotProbe[slot] {
+		if s.lsuUsed >= s.g.cfg.GPU.NumLSUs {
+			s.sawExecBlock = true
+		} else {
+			s.sawDepBlock = true
+		}
+		return
+	}
+	if s.issued >= s.g.cfg.GPU.MaxIssue {
+		return
+	}
+	s.l1i.Lookup(s.slotLine[slot])
+	s.sawDepBlock = true
+}
+
+// rebuildLive refreshes the ascending list of slots holding live warps.
+func (s *SM) rebuildLive() {
+	s.live = s.live[:0]
+	for slot, w := range s.warps {
+		if w != nil && !w.exited {
+			s.live = append(s.live, slot)
+		}
+	}
+	s.liveDirty = false
+}
+
+// nextWorkAt returns the earliest time this SM could do anything other than
+// a provably empty tick. It is a pure read of the mirror cache: certification
+// happens as a byproduct of an empty dense tick (see tick), so an SM whose
+// mirror is invalid — it just did work, or an external event dirtied it —
+// reads as busy and simply runs its next tick densely.
+func (s *SM) nextWorkAt(now timing.PS) timing.PS {
+	if !s.idleValid {
+		return now
+	}
+	return s.idleWake
+}
+
+// computeIdle is a side-effect-free mirror of tick: it decides whether the
+// next tick would mutate anything beyond the fixed per-cycle effects of a
+// blocked cycle (the no-issue stall classification, the L1I re-probes of
+// scoreboard-blocked warps, and the round-robin rotation). On a busy result
+// it records wake=now and leaves the previous idle profile untouched — a
+// busy evaluation never feeds skipIdle. On an idle result it records the
+// wake time (earliest scoreboard release, fetch completion, or translation
+// completion) plus the per-cycle profile skipIdle replays.
+func (s *SM) computeIdle(now timing.PS) {
+	g := s.g
+	k := g.prog.Kernel
+	// refill would launch a CTA this cycle.
+	if g.nextCTA < k.GridDim && len(s.ctas) < s.maxResidentCTAs() {
+		warpsPerCTA := (k.BlockDim + g.cfg.GPU.WarpWidth - 1) / g.cfg.GPU.WarpWidth
+		free := 0
+		for _, w := range s.warps {
+			if w == nil {
+				free++
+				if free == warpsPerCTA {
+					break
+				}
+			}
+		}
+		if free >= warpsPerCTA {
+			s.idleValid, s.idleWake = true, now // busy
+			return
+		}
+	}
+	// drainReady would push a packet onto the fabric.
+	if len(s.readyQ) > 0 {
+		s.idleValid, s.idleWake = true, now // busy
+		return
+	}
+	wake := timing.Never
+	anyLive, anyDep := false, false
+	s.idleLkN = 0
+	s.idleLkSch = s.idleLkSch[:0]
+	// Visit warps in scheduling order: on a busy SM the greedy warp is the
+	// likeliest issuer, so the scan exits after one or two warps instead of
+	// wading through every blocked warp first. The visit order is also the
+	// replay order skipIdle needs under GTO (frozen while the SM is idle,
+	// since greedyWarp only moves on an issue).
+	for _, slot := range s.schedOrder() {
+		s.idleLk[slot] = false
+		if sw := s.slotWake[slot]; sw > now {
+			// The block cache already certifies this warp's verdict (it holds
+			// a live, non-barrier warp — see tick): blocked until sw, probing
+			// the L1I each cycle iff slotProbe. No decode needed.
+			anyLive, anyDep = true, true
+			if s.slotProbe[slot] {
+				s.idleLk[slot] = true
+				s.idleLkN++
+				s.idleLkSch = append(s.idleLkSch, slot)
+			}
+			if sw != inf && sw < wake {
+				wake = sw
+			}
+			continue
+		}
+		w := s.warps[slot]
+		if w == nil || w.exited {
+			continue
+		}
+		anyLive = true
+		if w.atBarrier || w.waitAck {
+			// Released by another warp's issue or by an ack delivery — both
+			// dirty the mirror; no self-wake.
+			continue
+		}
+		if len(w.memq) > 0 {
+			if at := w.memq[0].readyAt; at > now {
+				anyDep = true // processMemq charges a dependency stall
+				if TraceGTID < 0 {
+					s.slotWake[slot] = at
+					s.slotProbe[slot] = false
+				}
+				if at < wake {
+					wake = at
+				}
+				continue
+			}
+			s.idleValid, s.idleWake = true, now // busy: a micro-op is served
+			return
+		}
+		if w.fetchUntil > now {
+			// Fetch in flight: tryIssue returns before the L1I probe and
+			// sets no stall flag.
+			if w.fetchUntil < wake {
+				wake = w.fetchUntil
+			}
+			continue
+		}
+		iline := uint64(w.pc) * isa.InstrBytes
+		if !s.l1i.Contains(iline) {
+			s.idleValid, s.idleWake = true, now // busy: probe misses, fill starts
+			return
+		}
+		in := k.Code[w.pc]
+		if w.off != nil && in.AtNSU {
+			s.idleValid, s.idleWake = true, now // busy: skip consumes an issue slot
+			return
+		}
+		// Scoreboard, read-only. The warp issues once every gating register
+		// is ready; registers with outstanding fills are released by fillL1,
+		// which dirties the mirror.
+		var gate [5]isa.Reg
+		ng := 0
+		for i := 0; i < in.Op.SrcCount(); i++ {
+			gate[ng] = in.Src[i]
+			ng++
+		}
+		gate[ng] = in.Pred
+		ng++
+		if in.Op.WritesDst() {
+			gate[ng] = in.Dst
+			ng++
+		}
+		blocked, unbounded := false, false
+		var wWake timing.PS
+		for i := 0; i < ng; i++ {
+			r := gate[i]
+			if r == isa.RNone {
+				continue
+			}
+			if w.outstanding[r] != 0 {
+				blocked, unbounded = true, true
+				continue
+			}
+			if at := w.regReady[r]; at > now {
+				blocked = true
+				if at > wWake {
+					wWake = at
+				}
+			}
+		}
+		if !blocked {
+			s.idleValid, s.idleWake = true, now // busy: the instruction issues
+			return
+		}
+		anyDep = true
+		s.idleLk[slot] = true // tryIssue probes (and hits) the L1I first
+		s.idleLkN++
+		s.idleLkSch = append(s.idleLkSch, slot)
+		if TraceGTID < 0 {
+			// The scan just certified the same verdict tryIssue's writer
+			// would: cache it so later dense ticks replay it cheaply too.
+			if unbounded {
+				s.slotWake[slot] = inf
+			} else {
+				s.slotWake[slot] = wWake
+			}
+			s.slotProbe[slot] = true
+			s.slotLine[slot] = iline
+		}
+		if !unbounded && wWake < wake {
+			wake = wWake
+		}
+	}
+	kind := int8(-1)
+	switch {
+	case !anyLive:
+		// All warps exited. The refill check above did not fire, so either
+		// the grid is exhausted (no stat densely) or no CTA fits.
+		if g.nextCTA < k.GridDim {
+			kind = int8(stats.WarpIdle)
+		}
+	case anyDep:
+		kind = int8(stats.DependencyStall)
+	default:
+		kind = int8(stats.WarpIdle)
+	}
+	s.idleValid = true
+	s.idleWake = wake
+	s.idleKind = kind
+}
+
+// skipIdle applies the exact effects of k consecutive provably-empty ticks,
+// as certified by the last computeIdle: the per-cycle stall classification,
+// the blocked warps' L1I hit traffic, and the scheduler rotation. The LRU
+// stamps of all but the final cycle's probes are superseded by the final
+// cycle's, so the intermediate lookups collapse into cache.SkipHits and only
+// the last cycle is replayed for real, in that cycle's scheduling order.
+func (s *SM) skipIdle(k int64) {
+	if s.idleKind >= 0 {
+		s.g.st.AddNoIssueN(stats.StallKind(s.idleKind), k)
+	}
+	m := s.idleLkN
+	if m > 0 && k > 1 {
+		s.l1i.SkipHits(m * (k - 1))
+	}
+	if s.g.cfg.GPU.SchedulerKind != "rr" {
+		// GTO: the visit order is frozen while the SM is idle, so the replay
+		// list captured by computeIdle is the final cycle's scheduling order.
+		for _, slot := range s.idleLkSch {
+			s.l1i.Lookup(uint64(s.warps[slot].pc) * isa.InstrBytes)
+		}
+		return
+	}
+	n := len(s.warps)
+	s.rrStart = (s.rrStart + int((k-1)%int64(n))) % n
+	if m > 0 {
+		for _, slot := range s.schedOrder() {
+			if s.idleLk[slot] {
+				s.l1i.Lookup(uint64(s.warps[slot].pc) * isa.InstrBytes)
+			}
+		}
+	}
+	s.rrStart = (s.rrStart + 1) % n
+}
+
+// flushIdle applies the accumulated certified-idle cycles in one batch.
+// skipIdle(a) followed by skipIdle(b) is equivalent to skipIdle(a+b): the
+// stall counters and cache clocks are additive, the final replay restamps the
+// same line set either way, and the scheduler rotation telescopes.
+func (s *SM) flushIdle() {
+	if s.pendingIdle > 0 {
+		k := s.pendingIdle
+		s.pendingIdle = 0
+		s.skipIdle(k)
+	}
+}
+
+// dirtyIdle invalidates the idle mirror after an externally-driven state
+// change (ack delivery, L1 fill) that can unblock a warp. The pending idle
+// cycles were certified under the pre-event state, so they are replayed
+// before the event's effects land.
+func (s *SM) dirtyIdle() {
+	s.flushIdle()
+	s.idleValid = false
 }
 
 // schedOrder returns the warp-slot visit order for this cycle. GTO (greedy
@@ -301,13 +693,22 @@ func (s *SM) schedOrder() []int {
 	n := len(s.warps)
 	if s.order == nil {
 		s.order = make([]int, n)
+		s.orderKey = -1
 	}
 	switch s.g.cfg.GPU.SchedulerKind {
 	case "rr":
+		if s.orderKey == s.rrStart {
+			return s.order
+		}
+		s.orderKey = s.rrStart
 		for i := 0; i < n; i++ {
 			s.order[i] = (s.rrStart + i) % n
 		}
 	default: // gto
+		if s.orderKey == s.greedyWarp {
+			return s.order
+		}
+		s.orderKey = s.greedyWarp
 		s.order[0] = s.greedyWarp
 		k := 1
 		for i := 0; i < n; i++ {
@@ -328,14 +729,6 @@ func (s *SM) drainReady(now timing.PS) {
 	p := s.readyQ[0]
 	s.readyQ = s.readyQ[1:]
 	s.g.fab.SendGPUToHMC(now, p.target, p.size, p.msg)
-}
-
-// ready reports whether a register's value is available.
-func (w *warp) ready(r isa.Reg, now timing.PS) bool {
-	if r == isa.RNone {
-		return true
-	}
-	return w.outstanding[r] == 0 && w.regReady[r] <= now
 }
 
 // effMask evaluates the instruction's predicate over the warp's active mask.
@@ -369,6 +762,14 @@ func (s *SM) tryIssue(w *warp, now timing.PS) {
 	iline := uint64(w.pc) * isa.InstrBytes
 	if !s.l1i.Lookup(iline) {
 		s.l1i.Fill(iline)
+		// The fill may evict a code line whose hit another slot's cached
+		// block entry replays; drop every probing entry.
+		for i := range s.slotProbe {
+			if s.slotProbe[i] {
+				s.slotWake[i] = 0
+				s.slotProbe[i] = false
+			}
+		}
 		w.fetchUntil = now + timing.PS(s.g.cfg.GPU.L2Latency)*s.g.smPeriod
 		return
 	}
@@ -387,15 +788,49 @@ func (s *SM) tryIssue(w *warp, now timing.PS) {
 		return
 	}
 
-	// Scoreboard.
+	// Scoreboard: scan every gating register so a block also yields its wake
+	// time — the latest regReady release, or unbounded while a fill is
+	// outstanding — which feeds the per-slot block cache.
+	blocked, unbounded := false, false
+	var wake timing.PS
+	var gate [5]isa.Reg
+	ng := 0
 	for i := 0; i < in.Op.SrcCount(); i++ {
-		if !w.ready(in.Src[i], now) {
-			s.sawDepBlock = true
-			return
+		gate[ng] = in.Src[i]
+		ng++
+	}
+	gate[ng] = in.Pred
+	ng++
+	if in.Op.WritesDst() {
+		gate[ng] = in.Dst
+		ng++
+	}
+	for i := 0; i < ng; i++ {
+		r := gate[i]
+		if r == isa.RNone {
+			continue
+		}
+		if w.outstanding[r] != 0 {
+			blocked, unbounded = true, true
+			continue
+		}
+		if at := w.regReady[r]; at > now {
+			blocked = true
+			if at > wake {
+				wake = at
+			}
 		}
 	}
-	if !w.ready(in.Pred, now) || (in.Op.WritesDst() && !w.ready(in.Dst, now)) {
+	if blocked {
 		s.sawDepBlock = true
+		if TraceGTID < 0 {
+			if unbounded {
+				wake = inf
+			}
+			s.slotWake[w.slot] = wake
+			s.slotProbe[w.slot] = true
+			s.slotLine[w.slot] = iline
+		}
 		return
 	}
 
@@ -540,6 +975,7 @@ func (s *SM) execCtrl(w *warp, in isa.Instr, now timing.PS) {
 		}
 	case isa.EXIT:
 		w.exited = true
+		s.liveDirty = true
 		cta := w.cta
 		cta.live--
 		if cta.arrived > 0 && cta.arrived == cta.live {
@@ -571,7 +1007,7 @@ func (s *SM) retireCTA(cta *ctaState) {
 // line-granularity accesses (the GPU's coalescing unit).
 func (s *SM) coalesce(w *warp, in isa.Instr, mask uint32) []core.LineAccess {
 	lineBytes := uint64(s.g.cfg.LineBytes())
-	var lines []core.LineAccess
+	lines := s.lineScratch[:0]
 	for t := 0; t < core.WarpWidth; t++ {
 		if mask&(1<<uint(t)) == 0 {
 			continue
@@ -605,6 +1041,7 @@ func (s *SM) coalesce(w *warp, in isa.Instr, mask uint32) []core.LineAccess {
 		}
 		lines[i].Aligned = aligned
 	}
+	s.lineScratch = lines // keep the (possibly grown) backing for reuse
 	return lines
 }
 
@@ -622,10 +1059,11 @@ func (s *SM) setupMem(w *warp, in isa.Instr, now timing.PS) bool {
 		// First memory instruction: pick the target NSU and reserve the
 		// NDP buffers (§4.1.1, §4.3).
 		if !ctx.targetKnown {
-			homes := make([]int, len(lines))
-			for i, la := range lines {
-				homes[i] = s.g.mem.HMCOf(la.LineAddr)
+			homes := s.homesScratch[:0]
+			for _, la := range lines {
+				homes = append(homes, s.g.mem.HMCOf(la.LineAddr))
 			}
+			s.homesScratch = homes
 			ctx.target = core.SelectTarget(homes, s.g.cfg.NumHMCs)
 			if !s.g.bufmgr.Reserve(ctx.target, ctx.block.numLD, ctx.block.numST) {
 				s.g.st.CreditStalls++
@@ -671,6 +1109,9 @@ func (s *SM) setupMem(w *warp, in isa.Instr, now timing.PS) bool {
 		}
 	}
 
+	// setupMem only runs with an empty queue (a warp with pending micro-ops
+	// never reaches issue), so the expansion reuses the warp's backing array.
+	w.memq = w.memqBuf[:0]
 	for _, la := range lines {
 		op := microOp{access: la, isStore: in.Op == isa.ST, dst: in.Dst,
 			offload: offload, seq: seq, total: total}
@@ -686,6 +1127,7 @@ func (s *SM) setupMem(w *warp, in isa.Instr, now timing.PS) bool {
 		}
 		w.memq = append(w.memq, op)
 	}
+	w.memqBuf = w.memq
 	if in.Op == isa.LD && !offload {
 		w.outstanding[in.Dst] = int16(len(lines))
 		w.regReady[in.Dst] = inf
@@ -703,6 +1145,8 @@ func (s *SM) processMemq(w *warp, now timing.PS) {
 		op := &w.memq[0]
 		if op.readyAt > now {
 			s.sawDepBlock = true // translation in flight
+			s.slotWake[w.slot] = op.readyAt
+			s.slotProbe[w.slot] = false
 			return
 		}
 		if !s.serveMicroOp(w, op, now) {
@@ -777,6 +1221,7 @@ func (s *SM) serveBaselineLoad(w *warp, op *microOp, now timing.PS) bool {
 
 // fillL1 completes an L1 miss: install the line and wake the waiters.
 func (s *SM) fillL1(line uint64, now timing.PS) {
+	s.dirtyIdle()
 	s.l1.MSHRRelease(line)
 	for _, lw := range s.waiters[line] {
 		s.loadLineDone(lw.w, lw.dst, now)
@@ -790,6 +1235,7 @@ func (s *SM) loadLineDone(w *warp, dst isa.Reg, at timing.PS) {
 		w.outstanding[dst] = 0
 		w.regReady[dst] = at
 	}
+	s.slotWake[w.slot] = 0 // scoreboard state changed: drop the block cache
 }
 
 func (s *SM) serveBaselineStore(w *warp, op *microOp, now timing.PS) bool {
@@ -941,6 +1387,7 @@ func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 // still inside the block (the NSU finished before the GPU reached OFLD.END)
 // the ack is stashed on the context and applied at OFLD.END.
 func (s *SM) deliverAck(ack *core.AckPacket, now timing.PS) {
+	s.dirtyIdle()
 	w := s.warps[ack.ID.Warp]
 	if w == nil || w.off == nil {
 		panic("gpu: ack for unknown offload context")
@@ -978,6 +1425,7 @@ func (s *SM) applyAck(w *warp, ack *core.AckPacket, now timing.PS) {
 	}
 	w.off = nil
 	w.waitAck = false
+	s.slotWake[w.slot] = 0
 	s.g.regionInstrs += int64(blk.instrs)
 	s.g.st.OffloadRegionInstrs += int64(blk.instrs)
 	if s.g.rec != nil {

@@ -10,7 +10,6 @@
 package noc
 
 import (
-	"container/heap"
 	"fmt"
 
 	"ndpgpu/internal/config"
@@ -54,29 +53,36 @@ type Delivery struct {
 	seq int64
 }
 
-type deliveryHeap []Delivery
-
-func (h deliveryHeap) Len() int { return len(h) }
-func (h deliveryHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(Delivery)) }
-func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-
-// Inbox is a time-ordered delivery queue at one endpoint.
+// Inbox is a time-ordered delivery queue at one endpoint. The heap is
+// maintained by hand (rather than container/heap) so Put/Pop move Delivery
+// values without boxing each one into an interface — the inboxes sit on the
+// simulator's hottest path.
 type Inbox struct {
-	h   deliveryHeap
+	h   []Delivery
 	seq int64
+}
+
+func (in *Inbox) less(i, j int) bool {
+	if in.h[i].At != in.h[j].At {
+		return in.h[i].At < in.h[j].At
+	}
+	return in.h[i].seq < in.h[j].seq
 }
 
 // Put inserts a message arriving at time at.
 func (in *Inbox) Put(at timing.PS, msg any) {
 	in.seq++
-	heap.Push(&in.h, Delivery{At: at, Msg: msg, seq: in.seq})
+	in.h = append(in.h, Delivery{At: at, Msg: msg, seq: in.seq})
+	// Sift up.
+	i := len(in.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !in.less(i, parent) {
+			break
+		}
+		in.h[i], in.h[parent] = in.h[parent], in.h[i]
+		i = parent
+	}
 }
 
 // Pop removes and returns the earliest message whose arrival time is <= now.
@@ -84,11 +90,42 @@ func (in *Inbox) Pop(now timing.PS) (any, bool) {
 	if len(in.h) == 0 || in.h[0].At > now {
 		return nil, false
 	}
-	return heap.Pop(&in.h).(Delivery).Msg, true
+	msg := in.h[0].Msg
+	n := len(in.h) - 1
+	in.h[0] = in.h[n]
+	in.h[n] = Delivery{} // release the popped message for GC
+	in.h = in.h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		min := l
+		if r < n && in.less(r, l) {
+			min = r
+		}
+		if !in.less(min, i) {
+			break
+		}
+		in.h[i], in.h[min] = in.h[min], in.h[i]
+		i = min
+	}
+	return msg, true
 }
 
 // Len returns the number of queued messages (including not-yet-arrived).
 func (in *Inbox) Len() int { return len(in.h) }
+
+// NextAt returns the arrival time of the earliest queued message, or false
+// when the inbox is empty. Side-effect free; used by idle hints.
+func (in *Inbox) NextAt() (timing.PS, bool) {
+	if len(in.h) == 0 {
+		return 0, false
+	}
+	return in.h[0].At, true
+}
 
 // Fabric wires the GPU and the HMCs together.
 type Fabric struct {
@@ -154,6 +191,11 @@ func (f *Fabric) NumHMCs() int { return f.numHMCs }
 
 // SetTracer installs a packet observer (nil disables tracing).
 func (f *Fabric) SetTracer(t Tracer) { f.tracer = t }
+
+// Traced reports whether a packet tracer is installed. Senders use this to
+// decide whether delivered packets may be recycled through free lists — a
+// tracer may retain packets, so pooling is disabled while one is attached.
+func (f *Fabric) Traced() bool { return f.tracer != nil }
 
 func (f *Fabric) trace(now timing.PS, routeFmt string, a, b, size int, msg any) {
 	if f.tracer == nil {

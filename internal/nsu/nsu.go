@@ -96,6 +96,21 @@ type NSU struct {
 	period     timing.PS
 	icodeSeen  map[int]bool // block IDs whose code this NSU has executed
 	icodeBytes int64
+
+	// Idle mirror cache. idleValid holds between evaluations until a Deliver
+	// or a full Tick can change the outcome; while it certifies idleness past
+	// the current edge, Tick applies the snapshot below instead of rescanning
+	// the warps.
+	idleValid bool
+	idleWake  timing.PS
+
+	// Snapshot of the per-cycle statistics an empty tick would record,
+	// captured by the last evaluation that certified idleness; SkipIdle
+	// replays it for each retired cycle. Only idle evaluations overwrite it,
+	// so the snapshot always describes the stretch being skipped.
+	skipOcc int64
+	skipRD  int64
+	skipWA  int64
 }
 
 // New builds an NSU for stack id. The program's blocks provide the NSU code
@@ -128,6 +143,7 @@ func (n *NSU) SetLocalWriter(w WriteSubmitter) { n.local = w }
 // Deliver accepts a protocol packet routed to this NSU by the HMC logic
 // layer.
 func (n *NSU) Deliver(msg any, now timing.PS) {
+	n.idleValid = false
 	switch m := msg.(type) {
 	case *core.CmdPacket:
 		n.cmdQ = append(n.cmdQ, m)
@@ -187,6 +203,15 @@ func (n *NSU) Deliver(msg any, now timing.PS) {
 
 // Tick advances the NSU by one of its clock cycles.
 func (n *NSU) Tick(now timing.PS) {
+	if n.idleValid && n.idleWake > now {
+		// A prior evaluation certified nothing can issue strictly before
+		// idleWake and no Deliver has arrived since: this tick is empty, so
+		// apply its fixed per-cycle statistics without rescanning the warps.
+		n.SkipIdle(1)
+		return
+	}
+	n.idleValid = false
+	spawned := false
 	// Spawn warps for queued offload commands.
 	for len(n.cmdQ) > 0 {
 		slot := -1
@@ -202,6 +227,7 @@ func (n *NSU) Tick(now timing.PS) {
 		cmd := n.cmdQ[0]
 		n.cmdQ = n.cmdQ[1:]
 		n.spawn(slot, cmd)
+		spawned = true
 		// The command has left the offload command buffer: its credit goes
 		// back to the GPU's buffer manager (the warp slot, not the buffer
 		// entry, is what the command occupies from now on).
@@ -228,6 +254,12 @@ func (n *NSU) Tick(now timing.PS) {
 	n.st.NSUWarpCycleSum += int64(occupied)
 	if occupied > 0 {
 		n.st.NSUActiveCycles++
+	}
+	if issued == 0 && !spawned {
+		// An empty tick: certify and cache the idle stretch so following
+		// empty ticks reduce to SkipIdle(1) and the engine can fast-forward
+		// the domain.
+		n.computeIdle(now)
 	}
 }
 
@@ -263,7 +295,7 @@ func (n *NSU) spawn(slot int, cmd *core.CmdPacket) {
 	if !n.icodeSeen[blk.ID] {
 		n.icodeSeen[blk.ID] = true
 		n.icodeBytes += int64(len(blk.NSUCode) * isa.InstrBytes)
-		n.st.NSUICodeBytes[n.ID] = n.icodeBytes
+		n.st.SetNSUICode(n.ID, n.icodeBytes)
 	}
 }
 
@@ -285,6 +317,120 @@ func (w *nsuWarp) effMask(in isa.Instr) uint32 {
 		}
 	}
 	return m
+}
+
+// effMaskRO is effMask without the register-map insertion reg() performs for
+// never-written predicates (an absent register reads as all zeros either
+// way). NextWorkAt must not mutate even semantically-invisible state.
+func (w *nsuWarp) effMaskRO(in isa.Instr) uint32 {
+	if in.Pred == isa.RNone {
+		return w.mask
+	}
+	p, ok := w.regs[in.Pred]
+	var m uint32
+	for t := 0; t < core.WarpWidth; t++ {
+		if w.mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		on := ok && p[t] != 0
+		if on != in.PredNeg {
+			m |= 1 << uint(t)
+		}
+	}
+	return m
+}
+
+// NextWorkAt implements timing.IdleHint as a pure read of the mirror cache:
+// certification happens as a byproduct of an empty Tick, so an NSU whose
+// mirror is invalid — it just did work, or a Deliver dirtied it — reads as
+// busy and simply runs its next tick densely.
+func (n *NSU) NextWorkAt(now timing.PS) timing.PS {
+	if !n.idleValid {
+		return now
+	}
+	return n.idleWake
+}
+
+// computeIdle mirrors Tick without side effects. A warp that would issue, a
+// spawnable command, or a due buffer entry makes the NSU busy now; otherwise
+// the NSU wakes at the earliest warp readyAt (warps blocked on buffer fills
+// or write acks are woken externally by the Deliver that unblocks them, via
+// the delivering domain's own edge). On an idle result the per-cycle
+// stall/occupancy profile of the stretch is snapshotted for SkipIdle; a busy
+// result leaves the snapshot untouched.
+func (n *NSU) computeIdle(now timing.PS) {
+	n.idleValid = true
+	n.idleWake = now // overwritten below when the scan proves idleness
+	occ := int64(0)
+	var nRD, nWA int64
+	wake := timing.Never
+	free := false
+	for i := range n.warps {
+		w := &n.warps[i]
+		if !w.active {
+			free = true
+			continue
+		}
+		occ++
+		if w.readyAt > now {
+			if w.readyAt < wake {
+				wake = w.readyAt
+			}
+			continue
+		}
+		in := w.block.NSUCode[w.pc]
+		switch in.Op {
+		case isa.LD:
+			need := w.effMaskRO(in)
+			if need == 0 {
+				return // busy: would issue (predicated-off fast path)
+			}
+			e, ok := n.rd[bufKey{id: w.id, seq: w.seqLD}]
+			if !ok || e.mask&need != need {
+				nRD++ // stalls, charging NSUStallRDWait each cycle
+				continue
+			}
+			return // busy
+		case isa.ST:
+			need := w.effMaskRO(in)
+			if need == 0 {
+				return // busy
+			}
+			e, ok := n.wt[bufKey{id: w.id, seq: w.seqST}]
+			if !ok || len(e.accesses) < e.total || e.total == 0 {
+				continue // silent stall: no counter in step()
+			}
+			return // busy
+		case isa.OFLDEND:
+			if w.pending > 0 {
+				nWA++ // stalls, charging NSUStallWrAck each cycle
+				continue
+			}
+			return // busy
+		default:
+			// OFLDBEG, LDC, ALU: always issue when ready.
+			return // busy
+		}
+	}
+	if len(n.cmdQ) > 0 && free {
+		return // busy: Tick would spawn a warp
+	}
+	n.skipOcc = occ
+	n.skipRD = nRD
+	n.skipWA = nWA
+	n.idleWake = wake
+}
+
+// SkipIdle implements timing.IdleSkipper: batch-apply the statistics that
+// `cycles` consecutive empty Tick calls would have recorded, using the
+// profile captured by the certifying NextWorkAt.
+func (n *NSU) SkipIdle(cycles int64) {
+	n.st.NSUWarpCycleSum += n.skipOcc * cycles
+	if n.skipOcc > 0 {
+		n.st.NSUActiveCycles += cycles
+	}
+	n.st.NSUStallRDWait += n.skipRD * cycles
+	n.st.NSUStallWrAck += n.skipWA * cycles
 }
 
 // step executes one instruction of the warp; returns true if it issued.

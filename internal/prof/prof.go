@@ -1,0 +1,48 @@
+// Package prof wires the standard Go CPU and heap profilers into the
+// command-line tools, so simulator hot spots can be inspected with
+// `go tool pprof` without rebuilding anything.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling if cpuFile is non-empty and returns a stop
+// function that ends the CPU profile and, if memFile is non-empty, writes a
+// GC-settled heap profile. The stop function must run before process exit;
+// it is safe to call when both paths are empty.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile == "" {
+			return
+		}
+		f, err := os.Create(memFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}, nil
+}

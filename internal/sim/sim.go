@@ -133,22 +133,41 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, dec core.Dec
 
 	m.engine = timing.NewEngine()
 	m.smDomain = m.engine.AddDomain("sm", timing.PeriodFromMHz(cfg.GPU.SMClockMHz))
-	m.smDomain.Attach(timing.TickFunc(m.g.Tick))
+	m.smDomain.Attach(m.g)
 	xbar := m.engine.AddDomain("xbar", timing.PeriodFromMHz(cfg.GPU.XbarClockMHz))
-	xbar.Attach(timing.TickFunc(m.g.XbarTick))
+	xbar.Attach(m.g.XbarTicker())
 	dramDom := m.engine.AddDomain("dram", timing.PS(cfg.HMC.TCKps))
 	for _, h := range m.hmcs {
-		h := h
-		dramDom.Attach(timing.TickFunc(h.Tick))
+		dramDom.Attach(h)
 	}
 	m.nsuDomain = m.engine.AddDomain("nsu", timing.PeriodFromMHz(cfg.NSU.ClockMHz))
 	for _, n := range m.nsus {
-		n := n
-		m.nsuDomain.Attach(timing.TickFunc(n.Tick))
+		m.nsuDomain.Attach(n)
 	}
-	m.smDomain.Attach(timing.TickFunc(m.serviceSwaps))
+	m.smDomain.Attach(swapTicker{m})
 	return m, nil
 }
+
+// swapTicker drives serviceSwaps on the SM clock with an idle hint: with no
+// pending swaps the ticker is fully drained, otherwise the swap-completion
+// conditions must be re-checked every cycle.
+type swapTicker struct{ m *Machine }
+
+// Tick implements timing.Ticker.
+func (t swapTicker) Tick(now timing.PS) { t.m.serviceSwaps(now) }
+
+// NextWorkAt implements timing.IdleHint.
+func (t swapTicker) NextWorkAt(now timing.PS) timing.PS {
+	if len(t.m.swaps) == 0 {
+		return timing.Never
+	}
+	return now
+}
+
+// SetIdleSkip toggles the engine's idle skipping for this machine (on by
+// default). With it off the engine fires every clock edge densely — the
+// reference behaviour the differential tests compare against.
+func (m *Machine) SetIdleSkip(on bool) { m.engine.SetIdleSkip(on) }
 
 // RequestPageSwap schedules a migration of the page holding addr to stack
 // newHome (§4.1.1 dynamic memory management). The swap completes at the
@@ -249,7 +268,7 @@ func (m *Machine) finalize() {
 		m.St.DRAMRowHits += vs.RowHits
 	}
 	for _, n := range m.nsus {
-		m.St.NSUICodeBytes[n.ID] = n.ICodeBytes()
+		m.St.SetNSUICode(n.ID, n.ICodeBytes())
 	}
 }
 

@@ -5,7 +5,6 @@ package stats
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -104,9 +103,9 @@ type Stats struct {
 
 	// NSU behaviour.
 	NSUInstrs       int64
-	NSUWarpCycleSum int64         // sum over NSU cycles of occupied warp slots
-	NSUActiveCycles int64         // NSU cycles with at least one live warp
-	NSUICodeBytes   map[int]int64 // per-NSU: distinct instruction bytes touched
+	NSUWarpCycleSum int64   // sum over NSU cycles of occupied warp slots
+	NSUActiveCycles int64   // NSU cycles with at least one live warp
+	NSUICodeBytes   []int64 // per-NSU (indexed by NSU id): distinct instruction bytes touched
 	NSUWarpsSpawned int64
 	NSUStallRDWait  int64 // NSU warp-cycles stalled waiting for read data
 	NSUStallWrAck   int64 // NSU warp-cycles stalled waiting for write acks
@@ -167,11 +166,24 @@ func (e EnergyBreakdown) Total() float64 {
 
 // New returns an empty Stats ready for accumulation.
 func New() *Stats {
-	return &Stats{NSUICodeBytes: make(map[int]int64)}
+	return &Stats{}
 }
 
 // AddNoIssue records one no-issue SM cycle of kind k.
 func (s *Stats) AddNoIssue(k StallKind) { s.NoIssue[k]++ }
+
+// AddNoIssueN records n no-issue SM cycles of kind k in one step (used by
+// the idle-skip fast path to batch provably-identical cycles).
+func (s *Stats) AddNoIssueN(k StallKind, n int64) { s.NoIssue[k] += n }
+
+// SetNSUICode records the distinct instruction-byte footprint of one NSU,
+// growing the per-NSU slice as needed.
+func (s *Stats) SetNSUICode(id int, bytes int64) {
+	for len(s.NSUICodeBytes) <= id {
+		s.NSUICodeBytes = append(s.NSUICodeBytes, 0)
+	}
+	s.NSUICodeBytes[id] = bytes
+}
 
 // NoIssueTotal returns the total number of no-issue SM cycles.
 func (s *Stats) NoIssueTotal() int64 {
@@ -252,10 +264,9 @@ func (s *Stats) String() string {
 // MergeICode folds per-NSU instruction-byte footprints into sorted order for
 // deterministic output; helper for reports.
 func (s *Stats) MergeICode() []int {
-	ids := make([]int, 0, len(s.NSUICodeBytes))
-	for id := range s.NSUICodeBytes {
-		ids = append(ids, id)
+	ids := make([]int, len(s.NSUICodeBytes))
+	for id := range ids {
+		ids[id] = id
 	}
-	sort.Ints(ids)
 	return ids
 }

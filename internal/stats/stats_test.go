@@ -90,13 +90,13 @@ func TestNSUOccupancy(t *testing.T) {
 
 func TestICacheUtilization(t *testing.T) {
 	s := New()
-	s.NSUICodeBytes[0] = 1024
-	s.NSUICodeBytes[1] = 2048
+	s.SetNSUICode(0, 1024)
+	s.SetNSUICode(1, 2048)
 	if got := s.ICacheUtilization(4096); got != (0.25+0.5)/2 {
 		t.Fatalf("util = %v", got)
 	}
 	// Footprints above the cache size clamp to 1.
-	s.NSUICodeBytes[1] = 1 << 20
+	s.SetNSUICode(1, 1<<20)
 	if got := s.ICacheUtilization(4096); got != (0.25+1.0)/2 {
 		t.Fatalf("clamped util = %v", got)
 	}
@@ -121,11 +121,11 @@ func TestStringContainsCounters(t *testing.T) {
 
 func TestMergeICodeSorted(t *testing.T) {
 	s := New()
-	s.NSUICodeBytes[3] = 1
-	s.NSUICodeBytes[1] = 1
-	s.NSUICodeBytes[2] = 1
+	s.SetNSUICode(2, 1)
+	s.SetNSUICode(0, 1)
+	s.SetNSUICode(1, 1)
 	ids := s.MergeICode()
-	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
 		t.Fatalf("ids = %v", ids)
 	}
 }

@@ -5,6 +5,22 @@
 // and the DRAM at tCK = 1.5 ns. The engine keeps simulated time in integer
 // picoseconds and fires each domain at its own period; components attached to
 // a domain are ticked in registration order, once per domain period.
+//
+// # Idle skipping
+//
+// When every ticker in a domain implements IdleHint, the engine can prove
+// that a stretch of upcoming edges would be empty and retire them in O(1)
+// instead of firing them one by one. The invariant is that skipping is
+// observationally equivalent to dense ticking: a domain edge is only retired
+// when every component reported its next possible work strictly after that
+// edge, hints are re-evaluated in registration order inside each step (so
+// work deposited by an earlier domain at the same timestamp is seen exactly
+// as it would be under dense ticking), and components that maintain
+// per-cycle statistics implement IdleSkipper to batch-apply the effect of
+// the retired empty ticks. The engine never skips past a scheduled event:
+// a component with a timer (DRAM refresh, an epoch boundary) reports that
+// time from NextWorkAt and the skip stops at the edge that would have
+// observed it.
 package timing
 
 import (
@@ -15,10 +31,33 @@ import (
 // PS is a simulated time in picoseconds.
 type PS = int64
 
+// Never is returned by IdleHint.NextWorkAt when a component has no work and
+// no scheduled future event.
+const Never PS = math.MaxInt64
+
 // Ticker is a component driven by a clock domain.
 type Ticker interface {
 	// Tick advances the component by one cycle of its clock domain.
 	Tick(now PS)
+}
+
+// IdleHint is an optional interface a Ticker may implement to let the engine
+// skip provably empty cycles. NextWorkAt returns the earliest absolute time
+// at which the component could possibly do work: `now` (or any time <= now)
+// means "busy, tick me normally", a future time promises the component will
+// do nothing on any edge strictly before it, and Never promises it is fully
+// drained with no scheduled events. NextWorkAt must be side-effect free on
+// simulated state.
+type IdleHint interface {
+	NextWorkAt(now PS) PS
+}
+
+// IdleSkipper is an optional interface for tickers that mutate statistics on
+// every cycle even when idle (e.g. per-cycle stall classification).
+// SkipIdle(n) must apply exactly the aggregate effect that n consecutive
+// empty Tick calls would have had.
+type IdleSkipper interface {
+	SkipIdle(cycles int64)
 }
 
 // TickFunc adapts a function to the Ticker interface.
@@ -31,20 +70,33 @@ func (f TickFunc) Tick(now PS) { f(now) }
 type Domain struct {
 	Name     string
 	PeriodPS PS
-	Cycles   int64 // number of cycles fired so far
+	Cycles   int64 // number of cycles fired or retired-as-idle so far
 
-	next    PS
-	tickers []Ticker
+	next     PS
+	tickers  []Ticker
+	hints    []IdleHint // parallel to tickers when hintable, else nil
+	skippers []IdleSkipper
+	hintable bool
 }
 
 // Engine schedules a set of clock domains over integer-picosecond time.
 type Engine struct {
 	domains []*Domain
 	now     PS
+	skip    bool
+	limit   PS
+	fired   bool
 }
 
-// NewEngine returns an empty engine at time zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine at time zero with idle skipping enabled.
+func NewEngine() *Engine { return &Engine{skip: true, limit: Never} }
+
+// SetIdleSkip enables or disables idle skipping. With skipping off the
+// engine fires every edge of every domain densely (the reference behaviour).
+func (e *Engine) SetIdleSkip(on bool) { e.skip = on }
+
+// IdleSkip reports whether idle skipping is enabled.
+func (e *Engine) IdleSkip() bool { return e.skip }
 
 // PeriodFromMHz converts a frequency in MHz to an integer period in
 // picoseconds (rounded to the nearest ps; at 700 MHz the rounding error is
@@ -67,19 +119,141 @@ func (e *Engine) AddDomain(name string, periodPS PS) *Domain {
 	return d
 }
 
-// Attach adds a component to the domain.
-func (d *Domain) Attach(t Ticker) { d.tickers = append(d.tickers, t) }
+// Attach adds a component to the domain. The domain becomes skippable only
+// if every attached component implements IdleHint.
+func (d *Domain) Attach(t Ticker) {
+	d.tickers = append(d.tickers, t)
+	if h, ok := t.(IdleHint); ok && (d.hintable || len(d.tickers) == 1) {
+		d.hints = append(d.hints, h)
+		d.hintable = true
+	} else {
+		d.hintable = false
+		d.hints = nil
+	}
+	if s, ok := t.(IdleSkipper); ok {
+		d.skippers = append(d.skippers, s)
+	}
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() PS { return e.now }
 
-// Step advances simulated time to the next domain edge and ticks every
-// domain whose edge falls at that time. It returns false if the engine has
-// no domains.
+// effNext returns the earliest edge of d at which any component could do
+// work: d.next itself unless every component proves idleness past it, in
+// which case the first grid-aligned edge >= the earliest reported wake time
+// (or Never if all components are fully drained).
+func (d *Domain) effNext(now PS) PS {
+	if !d.hintable {
+		return d.next
+	}
+	wake := Never
+	for _, h := range d.hints {
+		if w := h.NextWorkAt(now); w < wake {
+			wake = w
+			if wake <= d.next {
+				return d.next
+			}
+		}
+	}
+	if wake == Never {
+		return Never
+	}
+	k := (wake - d.next + d.PeriodPS - 1) / d.PeriodPS
+	return d.next + k*d.PeriodPS
+}
+
+// skipTo retires every edge of d strictly before t (which must lie on d's
+// grid) as provably idle: the edges are credited to Cycles and per-cycle
+// statistics are batch-applied via IdleSkipper.
+func (d *Domain) skipTo(t PS) {
+	n := (t - d.next) / d.PeriodPS
+	if n <= 0 {
+		return
+	}
+	d.Cycles += n
+	for _, s := range d.skippers {
+		s.SkipIdle(n)
+	}
+	d.next = t
+}
+
+// Step advances simulated time to the next edge where work can happen and
+// ticks every domain with work due at that time, retiring intervening empty
+// edges. It returns false if the engine has no domains.
 func (e *Engine) Step() bool {
 	if len(e.domains) == 0 {
 		return false
 	}
+	if !e.skip {
+		return e.stepDense()
+	}
+	next := Never
+	for _, d := range e.domains {
+		if t := d.effNext(e.now); t < next {
+			next = t
+		}
+	}
+	if next > e.limit || next == Never {
+		// No work before the run limit (or at all). Mirror dense ticking,
+		// which fires empty edges up to the first global edge >= the limit
+		// before RunUntil notices the timeout: stop at that edge and let the
+		// normal loop below retire (or fire, if a timer lands exactly there)
+		// each domain's edges up to it.
+		target := e.limit
+		if target == Never {
+			target = e.now
+		}
+		stop := Never
+		for _, d := range e.domains {
+			t := d.next
+			if t < target {
+				k := (target - t + d.PeriodPS - 1) / d.PeriodPS
+				t += k * d.PeriodPS
+			}
+			if t < stop {
+				stop = t
+			}
+		}
+		next = stop
+	}
+	e.now = next
+	e.fired = false
+	for _, d := range e.domains {
+		if d.next > next {
+			continue
+		}
+		eff := d.effNext(next)
+		n := (next - d.next) / d.PeriodPS
+		rem := (next - d.next) % d.PeriodPS
+		if eff > next {
+			// Still idle through `next`: retire every edge <= next.
+			d.skipTo(d.next + (n+1)*d.PeriodPS)
+			continue
+		}
+		if rem != 0 {
+			// Work appeared at `next` (deposited by an earlier domain this
+			// step), but d has no edge exactly at `next`; the edges before it
+			// were certified idle at step start. Retire them; the work is
+			// observed at d's own next edge, as under dense ticking.
+			d.skipTo(d.next + (n+1)*d.PeriodPS)
+			continue
+		}
+		// Edge exactly at `next` with work due: retire the certified-idle
+		// edges before it and fire.
+		d.skipTo(next)
+		d.Cycles++
+		for _, t := range d.tickers {
+			t.Tick(next)
+		}
+		d.next = next + d.PeriodPS
+		e.fired = true
+	}
+	return true
+}
+
+// stepDense is the reference step: advance to the next edge and tick every
+// domain whose edge falls at that time.
+func (e *Engine) stepDense() bool {
 	next := e.domains[0].next
 	for _, d := range e.domains[1:] {
 		if d.next < next {
@@ -96,14 +270,22 @@ func (e *Engine) Step() bool {
 			d.next += d.PeriodPS
 		}
 	}
+	e.fired = true
 	return true
 }
 
 // RunUntil steps the engine until the predicate reports done or the time
 // limit (in ps) is exceeded. It returns the number of steps taken and
-// whether the predicate was satisfied (false means timeout).
+// whether the predicate was satisfied (false means timeout). The predicate
+// is only re-evaluated after steps in which some component actually ticked —
+// steps that merely retired idle edges cannot change machine state.
 func (e *Engine) RunUntil(done func() bool, limitPS PS) (steps int64, ok bool) {
-	for !done() {
+	e.limit = limitPS
+	check := true
+	for {
+		if check && done() {
+			return steps, true
+		}
 		if e.now >= limitPS {
 			return steps, false
 		}
@@ -111,8 +293,8 @@ func (e *Engine) RunUntil(done func() bool, limitPS PS) (steps int64, ok bool) {
 			return steps, false
 		}
 		steps++
+		check = e.fired || !e.skip
 	}
-	return steps, true
 }
 
 // CyclesAt converts a picosecond timestamp to whole cycles of the domain.

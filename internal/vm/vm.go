@@ -34,6 +34,7 @@ type System struct {
 	vaults    int
 	banks     int
 
+	pageShift  uint // pages are a power of two: page-of-addr is a shift, not a divide
 	vaultShift uint
 	bankShift  uint
 	rowShift   uint
@@ -56,6 +57,7 @@ func New(cfg config.Config) *System {
 		numHMCs:    cfg.NumHMCs,
 		vaults:     cfg.HMC.NumVaults,
 		banks:      cfg.HMC.BanksPerVault,
+		pageShift:  uint(log2(cfg.Mem.PageBytes)),
 		vaultShift: uint(log2(line)),
 		rng:        rand.New(rand.NewSource(cfg.Mem.PlacementSeed)),
 		brk:        heapBase,
@@ -137,7 +139,7 @@ func (s *System) WriteF32(addr uint64, f float32) { s.Write32(addr, uint32(isa.F
 
 // HMCOf returns the stack holding the page of addr.
 func (s *System) HMCOf(addr uint64) int {
-	page := addr / uint64(s.pageBytes)
+	page := addr >> s.pageShift
 	if page >= uint64(len(s.pageHMC)) {
 		panic(fmt.Sprintf("vm: address %#x beyond mapped pages", addr))
 	}
