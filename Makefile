@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet bench bench-engine clean
+.PHONY: build test test-short test-race vet check audit bench bench-engine clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,20 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# Pre-PR gate: build everything, vet, run the short suite, then the race
+# detector over the packages with concurrent test harnesses. Run this (plus
+# `make audit` when the memory system or protocol changed) before sending
+# a change out.
+check: build vet test-short
+	$(GO) test -race -short ./internal/sim ./internal/noc ./internal/timing
+
+# Invariant audit: every Table 1 workload under baseline, naive-NDP, and
+# dynamic-NDP with all runtime invariant checkers enabled (internal/audit),
+# cross-checked bit-for-bit against the reference interpreter. Also exposed
+# as `ndpsim -audit`.
+audit:
+	$(GO) test ./internal/sim -run Audit -v
 
 # Macro benchmark: one full VADD simulation per iteration (see BENCH_pr1.json
 # for the recorded before/after numbers).

@@ -4,8 +4,14 @@
 // Usage:
 //
 //	ndpsim -workload VADD -mode dyncache -scale 1 [-sms 64] [-nsumhz 350] [-verify]
+//	ndpsim -audit
 //
 // Modes: baseline, morecore, naive, static=<p>, dyn, dyncache.
+//
+// -audit runs the invariant audit suite instead of a single simulation:
+// every Table 1 workload under baseline, naive-NDP, and dynamic-NDP with
+// all runtime invariant checkers enabled, cross-checked bit-for-bit against
+// the reference interpreter. Exits nonzero on any violation.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/energy"
 	"ndpgpu/internal/prof"
+	"ndpgpu/internal/report"
 	"ndpgpu/internal/sim"
 	"ndpgpu/internal/vm"
 	"ndpgpu/internal/workloads"
@@ -61,6 +68,7 @@ func main() {
 		nsuMHz   = flag.Int("nsumhz", 0, "override NSU clock in MHz (0 = default 350)")
 		roCache  = flag.Bool("nsurocache", false, "enable the §7.1 NSU read-only cache extension")
 		verify   = flag.Bool("verify", true, "check functional output against the host reference")
+		audit    = flag.Bool("audit", false, "run the full invariant audit suite and exit")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -78,6 +86,11 @@ func main() {
 		for _, a := range workloads.Abbrs() {
 			fmt.Println(a)
 		}
+		return
+	}
+
+	if *audit {
+		runAuditSuite(*scale)
 		return
 	}
 
@@ -154,6 +167,46 @@ func main() {
 		fmt.Printf("nsu: occupancy=%.1f%% icache-util=%.1f%%\n",
 			100*occ, 100*st.ICacheUtilization(cfg.NSU.ICacheBytes))
 	}
+}
+
+// runAuditSuite runs the invariant audit over all workloads and modes,
+// prints one table row per leg, and exits 1 if any leg fails.
+func runAuditSuite(scale int) {
+	cfg := sim.AuditConfig()
+	t := report.New(
+		fmt.Sprintf("Invariant audit (%d SMs, scale %d)", cfg.GPU.NumSMs, scale),
+		"workload", "mode", "cycles", "violations", "mem", "status")
+	failed := 0
+	results := sim.RunAuditSuite(cfg, scale, func(r sim.AuditResult) {
+		fmt.Fprintf(os.Stderr, "audit %s/%s...\n", r.Workload, r.Mode)
+	})
+	for _, r := range results {
+		status, mem := "ok", "match"
+		switch {
+		case r.Err != nil:
+			status, mem = "ERROR: "+r.Err.Error(), "-"
+		case !r.Ok():
+			status = "FAIL"
+			if !r.MemMatch {
+				mem = "MISMATCH"
+			}
+			if r.FirstBad != "" {
+				status += ": " + r.FirstBad
+			}
+		}
+		if !r.Ok() {
+			failed++
+		}
+		t.AddRow(r.Workload, r.Mode, fmt.Sprint(r.Cycles),
+			fmt.Sprint(r.Violations), mem, status)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d audit legs failed", failed, len(results)))
+	}
+	fmt.Printf("all %d audit legs clean\n", len(results))
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"ndpgpu/internal/experiments"
 	"ndpgpu/internal/prof"
 	"ndpgpu/internal/report"
+	"ndpgpu/internal/sim"
 )
 
 // writeCSV writes a table into dir/name.
@@ -39,6 +40,7 @@ func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment to run")
 		scale   = flag.Int("scale", 1, "problem-size scale factor")
+		audit   = flag.Bool("audit", false, "preflight the invariant audit suite before the sweep")
 		csvDir  = flag.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -73,6 +75,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ndpsweep:", err)
 			os.Exit(1)
 		}
+	}
+
+	// Preflight: refuse to regenerate paper numbers from a simulator that
+	// violates its own invariants or diverges from the reference interpreter.
+	if *audit {
+		bad := 0
+		n := 0
+		for _, r := range sim.RunAuditSuite(sim.AuditConfig(), *scale, nil) {
+			n++
+			if !r.Ok() {
+				bad++
+				detail := r.FirstBad
+				if r.Err != nil {
+					detail = r.Err.Error()
+				} else if !r.MemMatch && detail == "" {
+					detail = "memory differs from the reference interpreter"
+				}
+				fmt.Fprintf(os.Stderr, "ndpsweep: audit %s/%s: %s\n", r.Workload, r.Mode, detail)
+			}
+		}
+		if bad > 0 {
+			fail(fmt.Errorf("audit preflight: %d of %d legs failed", bad, n))
+		}
+		fmt.Fprintf(w, "[audit preflight: %d legs clean]\n", n)
 	}
 
 	if need("table1") {

@@ -206,6 +206,10 @@ func (c *Cache) MSHRRelease(addr uint64) int {
 // MSHRInFlight returns the number of in-flight line fills.
 func (c *Cache) MSHRInFlight() int { return len(c.mshr) }
 
+// MSHRCapacity returns the configured MSHR entry count, the upper bound on
+// MSHRInFlight.
+func (c *Cache) MSHRCapacity() int { return c.geom.MSHRs }
+
 // Flush invalidates the entire cache (between-kernel behaviour).
 func (c *Cache) Flush() {
 	c.memoOK = false

@@ -87,6 +87,13 @@ func (m *BufferManager) Available(target int, kind BufferKind) int {
 	return m.credits[target][kind]
 }
 
+// Initial returns the configured capacity of one buffer kind; outstanding
+// credits are Initial minus Available.
+func (m *BufferManager) Initial(kind BufferKind) int { return m.initial[kind] }
+
+// NumTargets returns the number of NSUs the manager tracks.
+func (m *BufferManager) NumTargets() int { return len(m.credits) }
+
 // AllReturned reports whether every NSU's credits are back at their initial
 // values — the quiescence invariant checked after each run.
 func (m *BufferManager) AllReturned() bool {

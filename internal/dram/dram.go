@@ -7,6 +7,7 @@
 package dram
 
 import (
+	"ndpgpu/internal/audit"
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/timing"
 )
@@ -60,6 +61,8 @@ type Vault struct {
 	nextRefresh timing.PS // next tREFI edge
 	refreshing  timing.PS // all banks blocked until this time
 
+	aud *audit.VaultAudit // nil unless bank-state auditing is attached
+
 	Stats VaultStats
 }
 
@@ -73,6 +76,11 @@ func NewVault(cfg config.HMCConfig) *Vault {
 }
 
 func (v *Vault) tck(n int) timing.PS { return timing.PS(n) * timing.PS(v.cfg.TCKps) }
+
+// SetAudit attaches a bank-state auditor (nil detaches). The vault reports
+// every ACT/PRE/CAS/refresh it issues; the auditor re-derives legality from
+// the timing parameters independently of the controller's own bookkeeping.
+func (v *Vault) SetAudit(a *audit.VaultAudit) { v.aud = a }
 
 // Enqueue adds a request if the queue has room, returning false when full.
 func (v *Vault) Enqueue(r *Request) bool {
@@ -124,6 +132,9 @@ func (v *Vault) Tick(now timing.PS) {
 			}
 		}
 		v.Stats.Refreshes++
+		if v.aud != nil {
+			v.aud.OnRefresh(now, v.refreshing)
+		}
 	}
 	if now < v.refreshing {
 		return
@@ -164,6 +175,9 @@ func (v *Vault) Tick(now timing.PS) {
 			b.rowOpen = false
 			b.readyAt = start + v.tck(v.cfg.TRP)
 			v.Stats.Precharges++
+			if v.aud != nil {
+				v.aud.OnPrecharge(now, start, r.Bank)
+			}
 			return // one command per tick
 		}
 		if !b.rowOpen {
@@ -173,6 +187,9 @@ func (v *Vault) Tick(now timing.PS) {
 			b.readyAt = now + v.tck(v.cfg.TRCD)
 			r.triggeredAct = true
 			v.Stats.Activations++
+			if v.aud != nil {
+				v.aud.OnActivate(now, r.Bank, r.Row)
+			}
 			return
 		}
 		// Open-row hit but bus busy: this request waits for the bus; let a
@@ -186,6 +203,9 @@ func (v *Vault) issueColumn(r *Request, now timing.PS, rowHit bool) {
 	b := &v.banks[r.Bank]
 	if rowHit {
 		v.Stats.RowHits++
+	}
+	if v.aud != nil {
+		v.aud.OnColumn(now, r.Bank, r.Row, r.IsWrite)
 	}
 	lat := v.tck(v.cfg.TCL)
 	if r.IsWrite {

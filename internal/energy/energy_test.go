@@ -96,3 +96,138 @@ func TestComputeFillsStats(t *testing.T) {
 		t.Fatal("Compute must record the breakdown in the stats bundle")
 	}
 }
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if b > scale {
+		scale = b
+	}
+	return d <= 1e-9*scale
+}
+
+// TestComputeTable pins the model's behavior on edge-case machines and runs:
+// zero-cycle runs must cost exactly nothing, a purely dynamic run must match
+// the closed-form event sums, and static energy must scale with the number
+// of components actually present.
+func TestComputeTable(t *testing.T) {
+	p := DefaultParams()
+	lineB := float64(config.Default().LineBytes())
+	const oneSecond = 1_000_000_000_000 // in ps
+
+	oneSM := config.Default()
+	oneSM.GPU.NumSMs = 1
+	oneHMC := config.Default()
+	oneHMC.NumHMCs = 1
+
+	cases := []struct {
+		name    string
+		st      func() *stats.Stats
+		elapsed int64 // overrides ElapsedPS after st()
+		cfg     config.Config
+		ndp     bool
+		check   func(t *testing.T, e stats.EnergyBreakdown)
+	}{
+		{
+			name: "zero-cycle zero-event run costs nothing",
+			st:   stats.New,
+			cfg:  config.Default(),
+			ndp:  true,
+			check: func(t *testing.T, e stats.EnergyBreakdown) {
+				if e.Total() != 0 {
+					t.Fatalf("empty run total = %v pJ, want 0", e.Total())
+				}
+			},
+		},
+		{
+			name:    "zero-cycle dynamic-only run matches closed-form sums",
+			st:      synthetic,
+			elapsed: -1, // force ElapsedPS to zero: pure event energy
+			cfg:     config.Default(),
+			ndp:     true,
+			check: func(t *testing.T, e stats.EnergyBreakdown) {
+				s := synthetic()
+				wantGPU := p.GPUInstrPJ*float64(s.IssuedInstrs) +
+					p.L1AccessPJ*float64(s.L1D.Accesses) +
+					p.L2AccessPJ*float64(s.L2.Accesses) +
+					p.WirePJPerB*float64(s.Traffic[stats.GPULink])
+				wantNSU := p.NSUInstrPJ * float64(s.NSUInstrs)
+				wantIntra := p.IntraHMCPJPerB * float64(s.Traffic[stats.IntraHMC])
+				wantOff := p.LinkPJPerB * float64(s.Traffic[stats.GPULink]+s.Traffic[stats.MemNet])
+				wantDRAM := p.ActivatePJ*float64(s.DRAMActivations) +
+					p.RowRWPJPerB*lineB*float64(s.DRAMReads+s.DRAMWrites)
+				for _, c := range []struct {
+					comp string
+					got, want float64
+				}{
+					{"GPU", e.GPU, wantGPU}, {"NSU", e.NSU, wantNSU},
+					{"IntraHMC", e.IntraHMC, wantIntra},
+					{"OffChip", e.OffChip, wantOff}, {"DRAM", e.DRAM, wantDRAM},
+				} {
+					if !approx(c.got, c.want) {
+						t.Fatalf("%s = %v pJ, want %v", c.comp, c.got, c.want)
+					}
+				}
+			},
+		},
+		{
+			name:    "single-SM machine pays one SM of static power",
+			st:      stats.New,
+			elapsed: oneSecond,
+			cfg:     oneSM,
+			ndp:     false,
+			check: func(t *testing.T, e stats.EnergyBreakdown) {
+				want := (p.SMStaticW + p.L2StaticW) * 1e12 // 1 s at 1 SM + L2
+				if !approx(e.GPU, want) {
+					t.Fatalf("GPU static = %v pJ, want %v", e.GPU, want)
+				}
+			},
+		},
+		{
+			name:    "single-HMC machine pays one stack of DRAM standby",
+			st:      stats.New,
+			elapsed: oneSecond,
+			cfg:     oneHMC,
+			ndp:     false,
+			check: func(t *testing.T, e stats.EnergyBreakdown) {
+				want := p.DRAMStaticW * 1e12
+				if !approx(e.DRAM, want) {
+					t.Fatalf("DRAM static = %v pJ, want %v", e.DRAM, want)
+				}
+				if e.NSU != 0 || e.OffChip != 0 {
+					t.Fatalf("idle baseline must not pay NDP power: %+v", e)
+				}
+			},
+		},
+		{
+			name: "NSU events cost nothing when NDP is power-gated",
+			st: func() *stats.Stats {
+				s := stats.New()
+				s.NSUInstrs = 1_000_000
+				return s
+			},
+			cfg: config.Default(),
+			ndp: false,
+			check: func(t *testing.T, e stats.EnergyBreakdown) {
+				if e.NSU != 0 {
+					t.Fatalf("gated NSU energy = %v pJ, want 0", e.NSU)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.st()
+			switch {
+			case tc.elapsed < 0:
+				s.ElapsedPS = 0
+			case tc.elapsed > 0:
+				s.ElapsedPS = tc.elapsed
+			}
+			tc.check(t, Compute(s, tc.cfg, p, tc.ndp))
+		})
+	}
+}

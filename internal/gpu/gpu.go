@@ -5,6 +5,8 @@
 package gpu
 
 import (
+	"fmt"
+
 	"ndpgpu/internal/analyzer"
 	"ndpgpu/internal/cache"
 	"ndpgpu/internal/config"
@@ -116,6 +118,24 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, fab *noc.Fab
 
 // BufferManager exposes the credit manager (the NSUs return credits to it).
 func (g *GPU) BufferManager() *core.BufferManager { return g.bufmgr }
+
+// ForEachCache invokes fn on every cache structure in the GPU: per-SM
+// L1D/L1I/TLB, the per-partition L2 slice tags, and the NSU read-only-cache
+// mirror when that extension is enabled. The invariant auditor snapshots the
+// cache list through this once at attach time; fn must not mutate.
+func (g *GPU) ForEachCache(fn func(name string, c *cache.Cache)) {
+	for i, sm := range g.sms {
+		fn(fmt.Sprintf("sm%d/l1d", i), sm.l1)
+		fn(fmt.Sprintf("sm%d/l1i", i), sm.l1i)
+		fn(fmt.Sprintf("sm%d/tlb", i), sm.tlb)
+	}
+	for i, s := range g.slices {
+		fn(fmt.Sprintf("l2slice%d", i), s.tags)
+	}
+	for i, d := range g.nsuDir {
+		fn(fmt.Sprintf("nsudir%d", i), d)
+	}
+}
 
 // Blocks returns the static block descriptors as decider BlockInfo.
 func BlockInfos(prog *analyzer.Program) []core.BlockInfo {

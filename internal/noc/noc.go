@@ -12,6 +12,7 @@ package noc
 import (
 	"fmt"
 
+	"ndpgpu/internal/audit"
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/stats"
 	"ndpgpu/internal/timing"
@@ -60,6 +61,7 @@ type Delivery struct {
 type Inbox struct {
 	h   []Delivery
 	seq int64
+	aud *audit.Network // nil unless the fabric auditor is attached
 }
 
 func (in *Inbox) less(i, j int) bool {
@@ -91,6 +93,9 @@ func (in *Inbox) Pop(now timing.PS) (any, bool) {
 		return nil, false
 	}
 	msg := in.h[0].Msg
+	if in.aud != nil {
+		in.aud.Eject(now, msg)
+	}
 	n := len(in.h) - 1
 	in.h[0] = in.h[n]
 	in.h[n] = Delivery{} // release the popped message for GC
@@ -143,6 +148,7 @@ type Fabric struct {
 
 	st     *stats.Stats
 	tracer Tracer
+	aud    *audit.Network
 }
 
 // Tracer observes every packet entering the fabric; see package trace.
@@ -197,6 +203,29 @@ func (f *Fabric) SetTracer(t Tracer) { f.tracer = t }
 // tracer may retain packets, so pooling is disabled while one is attached.
 func (f *Fabric) Traced() bool { return f.tracer != nil }
 
+// SetAudit attaches the packet-conservation auditor to the fabric and all of
+// its inboxes (nil detaches). The auditor observes every injection at the
+// Send* entry points and every ejection at Inbox.Pop; like a tracer, it may
+// retain packet identities, so it must only be attached to machines whose
+// senders allocate packets fresh (the default — see Traced).
+func (f *Fabric) SetAudit(n *audit.Network) {
+	f.aud = n
+	f.gpuInbox.aud = n
+	for i := range f.hmcInbox {
+		f.hmcInbox[i].aud = n
+	}
+}
+
+// Diameter returns the maximum hop count between any two stacks on the
+// memory network: the dimension count for the hypercube, half the ring for
+// the ring topology.
+func (f *Fabric) Diameter() int {
+	if f.ring {
+		return f.numHMCs / 2
+	}
+	return f.dims
+}
+
 func (f *Fabric) trace(now timing.PS, routeFmt string, a, b, size int, msg any) {
 	if f.tracer == nil {
 		return
@@ -215,6 +244,9 @@ func (f *Fabric) SendGPUToHMC(now timing.PS, dst, size int, msg any) timing.PS {
 	f.trace(now, "gpu->hmc%d%.0d", dst, 0, size, msg)
 	at := f.gpuToHMC[dst].Send(now, size)
 	f.addTraffic(stats.GPULink, int64(size))
+	if f.aud != nil {
+		f.aud.Inject(now, at, audit.GPUNode, dst, 0, msg)
+	}
 	f.hmcInbox[dst].Put(at, msg)
 	return at
 }
@@ -224,6 +256,9 @@ func (f *Fabric) SendHMCToGPU(now timing.PS, src, size int, msg any) timing.PS {
 	f.trace(now, "hmc%d->gpu%.0d", src, 0, size, msg)
 	at := f.hmcToGPU[src].Send(now, size)
 	f.addTraffic(stats.GPULink, int64(size))
+	if f.aud != nil {
+		f.aud.Inject(now, at, src, audit.GPUNode, 0, msg)
+	}
 	f.gpuInbox.Put(at, msg)
 	return at
 }
@@ -234,11 +269,15 @@ func (f *Fabric) SendHMCToGPU(now timing.PS, src, size int, msg any) timing.PS {
 func (f *Fabric) SendHMCToHMC(now timing.PS, src, dst, size int, msg any) timing.PS {
 	f.trace(now, "hmc%d->hmc%d", src, dst, size, msg)
 	if src == dst {
+		if f.aud != nil {
+			f.aud.Inject(now, now, src, dst, 0, msg)
+		}
 		f.hmcInbox[dst].Put(now, msg)
 		return now
 	}
 	t := now
 	cur := src
+	hops := 0
 	for cur != dst {
 		var d, next int
 		if f.ring {
@@ -262,6 +301,10 @@ func (f *Fabric) SendHMCToHMC(now timing.PS, src, dst, size int, msg any) timing
 		t = link.Send(t, size) // arrival at next hop
 		f.addTraffic(stats.MemNet, int64(size))
 		cur = next
+		hops++
+	}
+	if f.aud != nil {
+		f.aud.Inject(now, t, src, dst, hops, msg)
 	}
 	f.hmcInbox[dst].Put(t, msg)
 	return t

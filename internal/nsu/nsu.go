@@ -606,6 +606,14 @@ func (n *NSU) Busy() bool {
 	return false
 }
 
+// BufferOccupancy reports the live entry counts of the NSU-side NDP buffers
+// — command queue, read-data, and write-address — for the invariant auditor:
+// each must stay within its configured capacity and within the credits the
+// GPU has outstanding for this NSU.
+func (n *NSU) BufferOccupancy() (cmd, rd, wt int) {
+	return len(n.cmdQ), len(n.rd), len(n.wt)
+}
+
 // Occupied returns the number of active warp slots (Figure 11 metric).
 func (n *NSU) Occupied() int {
 	c := 0

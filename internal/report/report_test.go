@@ -72,6 +72,86 @@ func TestRowsCount(t *testing.T) {
 	}
 }
 
+// TestAddFloatsRounding pins the %.3f rendering at report boundaries: the
+// formatter rounds the stored double correctly, so these cells are stable
+// across platforms and Go releases.
+func TestAddFloatsRounding(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		want string
+	}{
+		{"exact half keeps trailing zeros", 0.5, "0.500"},
+		{"repeating third truncates down", 1.0 / 3, "0.333"},
+		{"repeating two-thirds rounds up", 2.0 / 3, "0.667"},
+		{"exact binary tie rounds to even (down)", 2.0625, "2.062"},
+		{"exact binary tie rounds to even (up)", 2.6875, "2.688"},
+		{"tiny negative keeps its sign", -1e-9, "-0.000"},
+		{"rounds up across the integer boundary", 0.9995, "1.000"},
+		{"speedup-scale value", 1234.5678, "1234.568"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := New("", "label", "value")
+			tb.AddFloats("x", tc.v)
+			var buf bytes.Buffer
+			if err := tb.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+			if got := lines[1]; got != "x,"+tc.want {
+				t.Fatalf("%v renders as %q, want %q", tc.v, got, "x,"+tc.want)
+			}
+		})
+	}
+}
+
+// TestEmptyAndUntitledTables covers degenerate tables every writer must
+// handle: no rows, and no title.
+func TestEmptyAndUntitledTables(t *testing.T) {
+	render := map[string]func(*Table, *bytes.Buffer) error{
+		"text":     func(tb *Table, b *bytes.Buffer) error { return tb.WriteText(b) },
+		"csv":      func(tb *Table, b *bytes.Buffer) error { return tb.WriteCSV(b) },
+		"markdown": func(tb *Table, b *bytes.Buffer) error { return tb.WriteMarkdown(b) },
+	}
+	wantLines := map[string]int{
+		"text":     2, // title + header
+		"csv":      1, // header only
+		"markdown": 3, // title + header + separator (blank line trimmed)
+	}
+	for name, fn := range render {
+		t.Run("empty/"+name, func(t *testing.T) {
+			tb := New("Empty", "a", "b")
+			var buf bytes.Buffer
+			if err := fn(tb, &buf); err != nil {
+				t.Fatal(err)
+			}
+			lines := 0
+			for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+				if strings.TrimSpace(l) != "" {
+					lines++
+				}
+			}
+			if lines != wantLines[name] {
+				t.Fatalf("empty table renders %d non-blank lines, want %d:\n%s",
+					lines, wantLines[name], buf.String())
+			}
+		})
+	}
+	t.Run("untitled/text", func(t *testing.T) {
+		tb := New("", "a")
+		tb.AddRow("1")
+		var buf bytes.Buffer
+		if err := tb.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 2 || lines[0] != "a" {
+			t.Fatalf("untitled text table:\n%s", buf.String())
+		}
+	})
+}
+
 func TestOverlongRowTruncated(t *testing.T) {
 	tb := New("", "a", "b")
 	tb.AddRow("1", "2", "3", "4")

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/energy"
+	"ndpgpu/internal/interp"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+// AuditModes are the three execution modes the differential audit harness
+// exercises: baseline, fully partitioned execution (every block offloaded),
+// and the dynamic offload controller.
+var AuditModes = []Mode{Baseline, NaiveNDP, DynNDP}
+
+// AuditConfig returns the reduced configuration audit runs use: the Table 2
+// machine with 4 SMs, so the full workload x mode sweep stays tractable
+// while the protocol, network, and memory system run at full fidelity.
+func AuditConfig() config.Config {
+	cfg := config.Default()
+	cfg.GPU.NumSMs = 4
+	return cfg
+}
+
+// AuditResult is the outcome of one workload x mode audit leg.
+type AuditResult struct {
+	Workload   string
+	Mode       string
+	Cycles     int64
+	Violations int64
+	FirstBad   string // first recorded violation, empty when clean
+	MemMatch   bool   // final memory bit-identical to the interp oracle
+	Err        error  // build/run/verify failure, nil on success
+}
+
+// Ok reports whether the leg passed: the run completed, zero invariant
+// violations, and memory bit-identical to the oracle.
+func (r AuditResult) Ok() bool { return r.Err == nil && r.Violations == 0 && r.MemMatch }
+
+// RunAuditOne executes one workload under one mode with full auditing
+// enabled and cross-checks the final memory image bit-for-bit against the
+// internal/interp reference interpreter. The oracle runs the same kernel on
+// a second memory system built with the identical configuration: workload
+// initialization and page placement are deterministic in the config seeds,
+// so the two address spaces correspond byte for byte.
+func RunAuditOne(cfg config.Config, abbr string, mode Mode, scale int) AuditResult {
+	r := AuditResult{Workload: abbr, Mode: mode.Name, MemMatch: false}
+
+	mem := vm.New(cfg)
+	w, err := workloads.Build(abbr, mem, scale)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	machine, err := Launch(cfg, w.Kernel, mem, mode)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	aud := machine.EnableAudit()
+	res, err := machine.Run(0)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.Cycles = res.Cycles
+	r.Violations = aud.Count()
+	if vs := aud.Violations(); len(vs) > 0 {
+		r.FirstBad = vs[0].String()
+	}
+
+	// The energy model over the final counters must be well-formed: every
+	// component non-negative, and no NSU energy attributed to a machine that
+	// never ran NSU code.
+	e := energy.Compute(res.Stats, cfg, energy.DefaultParams(), mode.NDP)
+	if e.GPU < 0 || e.NSU < 0 || e.IntraHMC < 0 || e.OffChip < 0 || e.DRAM < 0 {
+		r.Violations++
+		if r.FirstBad == "" {
+			r.FirstBad = fmt.Sprintf("negative energy component: %+v", e)
+		}
+	}
+
+	// Host-reference functional check (the workload's own Verify), then the
+	// stronger oracle differential: replay the original kernel in the
+	// reference interpreter and compare full memory images.
+	if err := w.Verify(); err != nil {
+		r.Err = fmt.Errorf("host verification: %w", err)
+		return r
+	}
+	ref := vm.New(cfg)
+	wref, err := workloads.Build(abbr, ref, scale)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if err := interp.Run(wref.Kernel, ref); err != nil {
+		r.Err = fmt.Errorf("oracle: %w", err)
+		return r
+	}
+	r.MemMatch = bytes.Equal(mem.Snapshot(), ref.Snapshot())
+	return r
+}
+
+// RunAuditSuite runs every Table 1 workload under every audit mode. The
+// progress callback, when non-nil, is invoked after each leg.
+func RunAuditSuite(cfg config.Config, scale int, progress func(AuditResult)) []AuditResult {
+	var out []AuditResult
+	for _, abbr := range workloads.Abbrs() {
+		for _, mode := range AuditModes {
+			r := RunAuditOne(cfg, abbr, mode, scale)
+			if progress != nil {
+				progress(r)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,7 +1,14 @@
 package sim
 
 import (
+	"bufio"
+	"bytes"
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"ndpgpu/internal/config"
@@ -96,74 +103,180 @@ func randomKernel(rng *rand.Rand, mem *vm.System, n int) (*kernel.Kernel, uint64
 	return kb.MustBuild("fuzz", n/64, 64, a, b, out), out, stores
 }
 
-// TestDifferentialFuzz runs randomly generated kernels under baseline and
-// full offload and requires bit-identical output memory — the strongest
-// functional check of partitioned execution.
+// randomSmemKernel builds a random two-phase scratchpad kernel: phase one
+// loads the thread's element, runs a short random ALU chain, and publishes
+// the result to the CTA scratchpad; after a barrier, phase two combines the
+// thread's value with a rotated neighbor's published value and stores to
+// global memory. Every thread writes only its own output element and the
+// scratchpad is read-only after the barrier, so the program is race-free and
+// all execution modes must produce bit-identical memory. Scratchpad and
+// barrier instructions are excluded from offload blocks (§3.1), so under NDP
+// modes these phases stay on the GPU while the surrounding global accesses
+// may still be offloaded.
+func randomSmemKernel(rng *rand.Rand, mem *vm.System, n int) *kernel.Kernel {
+	const block = 64
+	a := mem.Alloc(4 * n)
+	out := mem.Alloc(4 * n)
+	for i := 0; i < n; i++ {
+		mem.WriteF32(a+uint64(4*i), rng.Float32()*16-8)
+	}
+
+	kb := kernel.NewBuilder()
+	kb.OpImm(isa.SHLI, 16, kernel.RegGTID, 2)
+	kb.Op3(isa.ADD, 17, kernel.RegParam0, 16)   // &a[gtid]
+	kb.Op3(isa.ADD, 18, kernel.RegParam0+1, 16) // &out[gtid]
+	kb.OpImm(isa.SHLI, 19, kernel.RegTID, 2)    // own scratchpad slot
+
+	// Phase one: load, random ALU chain, publish to scratchpad.
+	kb.Ld(24, 17, 0)
+	live := []isa.Reg{24}
+	next := isa.Reg(25)
+	aluOps := []isa.Opcode{isa.FADD, isa.FSUB, isa.FMUL, isa.ADD, isa.XOR, isa.MIN, isa.MAX}
+	steps := 2 + rng.Intn(6)
+	for s := 0; s < steps; s++ {
+		op := aluOps[rng.Intn(len(aluOps))]
+		x := live[rng.Intn(len(live))]
+		y := live[rng.Intn(len(live))]
+		kb.Op3(op, next, x, y)
+		live = append(live, next)
+		next++
+	}
+	mine := live[len(live)-1]
+	kb.Sts(19, 0, mine)
+	kb.Bar()
+
+	// Phase two: read a rotated neighbor's value and combine.
+	rot := int64(1 + rng.Intn(block-1))
+	kb.OpImm(isa.ADDI, 20, kernel.RegTID, rot)
+	kb.OpImm(isa.ANDI, 20, 20, block-1)
+	kb.OpImm(isa.SHLI, 20, 20, 2)
+	kb.Lds(next, 20, 0)
+	neighbor := next
+	next++
+	kb.Op3(aluOps[rng.Intn(len(aluOps))], next, mine, neighbor)
+	kb.St(18, 0, next)
+	kb.Exit()
+
+	k := kb.MustBuild("fuzz-smem", n/block, block, a, out)
+	k.SmemBytes = 4 * block
+	return k
+}
+
+// buildFuzzKernel dispatches to a generator by corpus kind. The same seed
+// over a fresh vm.System always yields the same program and data layout.
+func buildFuzzKernel(kind string, seed int64, mem *vm.System, n int) (*kernel.Kernel, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "line":
+		k, _, _ := randomKernel(rng, mem, n)
+		return k, nil
+	case "smem":
+		return randomSmemKernel(rng, mem, n), nil
+	default:
+		return nil, fmt.Errorf("unknown fuzz kernel kind %q", kind)
+	}
+}
+
+// runFuzzTrial runs one generated kernel through the reference interpreter
+// and then under baseline, full offload, and dynamic offload, requiring the
+// complete final memory image of every timing run to be bit-identical to the
+// oracle — the strongest functional check of partitioned execution.
+func runFuzzTrial(t *testing.T, kind string, seed int64, n int) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.GPU.NumSMs = 2
+
+	ref := vm.New(cfg)
+	kref, err := buildFuzzKernel(kind, seed, ref, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.Run(kref, ref); err != nil {
+		t.Fatalf("%s seed %d: interp: %v", kind, seed, err)
+	}
+	want := ref.Snapshot()
+
+	for _, mode := range []Mode{Baseline, NaiveNDP, DynNDP} {
+		mem := vm.New(cfg)
+		k, err := buildFuzzKernel(kind, seed, mem, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Launch(cfg, k, mem, mode)
+		if err != nil {
+			t.Fatalf("%s seed %d (%s): %v", kind, seed, mode.Name, err)
+		}
+		if _, err := m.Run(0); err != nil {
+			t.Fatalf("%s seed %d (%s): %v", kind, seed, mode.Name, err)
+		}
+		if got := mem.Snapshot(); !bytes.Equal(got, want) {
+			i := 0
+			for i < len(got) && i < len(want) && got[i] == want[i] {
+				i++
+			}
+			t.Fatalf("%s seed %d (%s): memory differs from interp oracle at byte %#x",
+				kind, seed, mode.Name, i)
+		}
+	}
+}
+
+// TestDifferentialFuzz runs randomly generated straight-line kernels under
+// every execution mode and requires memory bit-identical to the interpreter.
 func TestDifferentialFuzz(t *testing.T) {
-	const n = 512
 	trials := 12
 	if testing.Short() {
 		trials = 3
 	}
 	for trial := 0; trial < trials; trial++ {
-		cfg := config.Default()
-		cfg.GPU.NumSMs = 2
-
-		type result struct {
-			words []uint32
-		}
-		runMode := func(mode Mode) result {
-			mem := vm.New(cfg)
-			// The same kernel-generator seed per mode yields the same
-			// program and data over identically laid-out memory.
-			kernelRng := rand.New(rand.NewSource(int64(7777 + trial)))
-			k, out, stores := randomKernel(kernelRng, mem, n)
-			m, err := Launch(cfg, k, mem, mode)
-			if err != nil {
-				t.Fatalf("trial %d: %v", trial, err)
-			}
-			if _, err := m.Run(0); err != nil {
-				t.Fatalf("trial %d (%s): %v", trial, mode.Name, err)
-			}
-			words := make([]uint32, n*stores)
-			for i := 0; i < n; i++ {
-				for s := 0; s < stores; s++ {
-					words[i*stores+s] = uint32(memRead(mem, out+uint64(16*i+4*s)))
-				}
-			}
-			return result{words: words}
-		}
-
-		// Third leg: the reference interpreter, independent of all timing
-		// and protocol machinery.
-		ref := func() result {
-			mem := vm.New(cfg)
-			kernelRng := rand.New(rand.NewSource(int64(7777 + trial)))
-			k, out, stores := randomKernel(kernelRng, mem, n)
-			if err := interp.Run(k, mem); err != nil {
-				t.Fatalf("trial %d: interp: %v", trial, err)
-			}
-			words := make([]uint32, n*stores)
-			for i := 0; i < n; i++ {
-				for s := 0; s < stores; s++ {
-					words[i*stores+s] = mem.Read32(out + uint64(16*i+4*s))
-				}
-			}
-			return result{words: words}
-		}()
-
-		base := runMode(Baseline)
-		ndp := runMode(NaiveNDP)
-		if len(base.words) != len(ndp.words) || len(base.words) != len(ref.words) {
-			t.Fatalf("trial %d: output size mismatch", trial)
-		}
-		for i := range base.words {
-			if base.words[i] != ndp.words[i] || base.words[i] != ref.words[i] {
-				t.Fatalf("trial %d: word %d differs: interp %#x, baseline %#x, ndp %#x",
-					trial, i, ref.words[i], base.words[i], ndp.words[i])
-			}
-		}
+		runFuzzTrial(t, "line", int64(7777+trial), 512)
 	}
 }
 
-func memRead(mem *vm.System, addr uint64) uint32 { return mem.Read32(addr) }
+// TestDifferentialFuzzSmem does the same for two-phase scratchpad/barrier
+// kernels, exercising the CTA barrier and the analyzer's exclusion of
+// scratchpad phases from offload blocks.
+func TestDifferentialFuzzSmem(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		runFuzzTrial(t, "smem", int64(4242+trial), 512)
+	}
+}
+
+// TestFuzzCorpus replays the committed corpus in testdata/fuzz_corpus.txt:
+// one "<kind> <seed>" entry per line, '#' comments allowed. The corpus pins
+// seeds that exercised interesting generator paths so they keep running
+// deterministically in every -short CI pass.
+func TestFuzzCorpus(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "fuzz_corpus.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("fuzz_corpus.txt:%d: want \"<kind> <seed>\", got %q", lineNo, line)
+		}
+		seed, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("fuzz_corpus.txt:%d: bad seed: %v", lineNo, err)
+		}
+		kind := fields[0]
+		t.Run(fmt.Sprintf("%s/%d", kind, seed), func(t *testing.T) {
+			runFuzzTrial(t, kind, seed, 256)
+		})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 
 	"ndpgpu/internal/analyzer"
+	"ndpgpu/internal/audit"
+	"ndpgpu/internal/cache"
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/gpu"
@@ -58,6 +60,8 @@ type Machine struct {
 	engine    *timing.Engine
 	smDomain  *timing.Domain
 	nsuDomain *timing.Domain
+
+	aud *audit.Auditor // nil unless EnableAudit was called
 
 	swaps     []*pageSwap
 	SwapsDone int
@@ -169,6 +173,144 @@ func (t swapTicker) NextWorkAt(now timing.PS) timing.PS {
 // reference behaviour the differential tests compare against.
 func (m *Machine) SetIdleSkip(on bool) { m.engine.SetIdleSkip(on) }
 
+// EnableAudit attaches the invariant auditor to every layer of the machine:
+// the fabric (packet conservation, offload-protocol legality), every DRAM
+// vault (bank-state legality), and machine-level checks for credit
+// conservation, cache statistic consistency, and energy-counter
+// monotonicity. The per-cycle checks run on fired SM edges (idle skipping is
+// preserved: a skipped edge cannot change state) and once more at drain.
+// Call before Run; idempotent. The returned auditor holds the violations.
+func (m *Machine) EnableAudit() *audit.Auditor {
+	if m.aud != nil {
+		return m.aud
+	}
+	a := audit.New()
+	m.aud = a
+	m.fab.SetAudit(audit.NewNetwork(a, m.fab.Diameter()))
+	for _, h := range m.hmcs {
+		h.EnableAudit(a)
+	}
+	m.registerCreditCheck(a)
+	m.registerCacheCheck(a)
+	m.registerStatsCheck(a)
+	m.smDomain.Attach(a.Ticker())
+	return a
+}
+
+// Auditor returns the attached auditor, or nil when auditing is disabled.
+func (m *Machine) Auditor() *audit.Auditor { return m.aud }
+
+// registerCreditCheck audits §4.3 credit conservation at every NSU link:
+// credits stay within [0, capacity], NSU-side buffer occupancy never exceeds
+// either the configured capacity or the credits the GPU holds outstanding,
+// and at drain every credit is back home with no entry left in any buffer.
+func (m *Machine) registerCreditCheck(a *audit.Auditor) {
+	bm := m.g.BufferManager()
+	caps := [3]int{m.Cfg.NSU.CmdEntries, m.Cfg.NSU.ReadDataEntries, m.Cfg.NSU.WriteAddrEntries}
+	kinds := [3]core.BufferKind{core.CmdBuffer, core.ReadDataBuffer, core.WriteAddrBuffer}
+	a.Register("credit-conservation", func(now timing.PS, final bool) {
+		for t := 0; t < bm.NumTargets(); t++ {
+			var occ [3]int
+			occ[0], occ[1], occ[2] = m.nsus[t].BufferOccupancy()
+			for i, k := range kinds {
+				avail := bm.Available(t, k)
+				if avail < 0 || avail > bm.Initial(k) {
+					a.Reportf(now, fmt.Sprintf("nsu%d", t), "credit-conservation",
+						"%v credits %d outside [0,%d]", k, avail, bm.Initial(k))
+				}
+				if occ[i] > caps[i] {
+					a.Reportf(now, fmt.Sprintf("nsu%d", t), "credit-conservation",
+						"%v buffer holds %d entries, capacity %d", k, occ[i], caps[i])
+				}
+				if outstanding := bm.Initial(k) - avail; occ[i] > outstanding {
+					a.Reportf(now, fmt.Sprintf("nsu%d", t), "credit-conservation",
+						"%v buffer holds %d entries but only %d credits are outstanding",
+						k, occ[i], outstanding)
+				}
+				if final && occ[i] > 0 {
+					a.Reportf(now, fmt.Sprintf("nsu%d", t), "credit-conservation",
+						"%v buffer holds %d entries at drain", k, occ[i])
+				}
+			}
+		}
+		if final && !bm.AllReturned() {
+			a.Reportf(now, "gpu", "credit-conservation", "credits not fully returned at drain")
+		}
+	})
+}
+
+// registerCacheCheck audits cache statistic consistency on every cache in
+// the GPU: hits never exceed accesses (so hits + misses == accesses holds
+// with non-negative misses), evictions never exceed fills, MSHR occupancy
+// stays within capacity, and no MSHR entry survives the drain.
+func (m *Machine) registerCacheCheck(a *audit.Auditor) {
+	type entry struct {
+		name string
+		c    *cache.Cache
+	}
+	var caches []entry
+	m.g.ForEachCache(func(name string, c *cache.Cache) {
+		caches = append(caches, entry{name, c})
+	})
+	a.Register("cache-consistency", func(now timing.PS, final bool) {
+		for _, e := range caches {
+			st := e.c.Stats
+			if st.Hits < 0 || st.Hits > st.Accesses {
+				a.Reportf(now, e.name, "cache-consistency",
+					"hits %d outside [0, accesses %d]", st.Hits, st.Accesses)
+			}
+			if st.Evictions > st.Fills {
+				a.Reportf(now, e.name, "cache-consistency",
+					"evictions %d exceed fills %d", st.Evictions, st.Fills)
+			}
+			if inflight := e.c.MSHRInFlight(); inflight > e.c.MSHRCapacity() {
+				a.Reportf(now, e.name, "cache-consistency",
+					"%d MSHR entries in flight, capacity %d", inflight, e.c.MSHRCapacity())
+			}
+			if final && e.c.MSHRInFlight() != 0 {
+				a.Reportf(now, e.name, "cache-consistency",
+					"%d MSHR entries leaked at drain", e.c.MSHRInFlight())
+			}
+		}
+	})
+}
+
+// energyCounters snapshots the statistics counters the energy model
+// integrates over; each must be monotonically non-decreasing over the run.
+var energyCounterNames = [...]string{
+	"IssuedInstrs", "IssuedThreadOps", "NSUInstrs", "NSUWarpsSpawned",
+	"Traffic[GPULink]", "Traffic[MemNet]", "Traffic[IntraHMC]", "InvalBytes",
+	"OffloadCmdPackets", "RDFPackets", "WTAPackets", "RDFRespPackets",
+	"AckPackets", "InvalPackets",
+}
+
+func (m *Machine) energyCounters() [len(energyCounterNames)]int64 {
+	st := m.St
+	return [...]int64{
+		st.IssuedInstrs, st.IssuedThreadOps, st.NSUInstrs, st.NSUWarpsSpawned,
+		st.Traffic[stats.GPULink], st.Traffic[stats.MemNet], st.Traffic[stats.IntraHMC],
+		st.InvalBytes,
+		st.OffloadCmdPackets, st.RDFPackets, st.WTAPackets, st.RDFRespPackets,
+		st.AckPackets, st.InvalPackets,
+	}
+}
+
+// registerStatsCheck audits energy-counter monotonicity: the counters the
+// energy model integrates over only ever grow.
+func (m *Machine) registerStatsCheck(a *audit.Auditor) {
+	prev := m.energyCounters()
+	a.Register("energy-counter-monotonic", func(now timing.PS, final bool) {
+		cur := m.energyCounters()
+		for i, v := range cur {
+			if v < prev[i] {
+				a.Reportf(now, "stats", "energy-counter-monotonic",
+					"%s decreased %d -> %d", energyCounterNames[i], prev[i], v)
+			}
+		}
+		prev = cur
+	})
+}
+
 // RequestPageSwap schedules a migration of the page holding addr to stack
 // newHome (§4.1.1 dynamic memory management). The swap completes at the
 // first cycle where the involved stacks have no in-flight WTA packets and
@@ -245,6 +387,9 @@ func (m *Machine) Run(limitPS timing.PS) (*Result, error) {
 	}
 	_, ok := m.engine.RunUntil(m.done, limitPS)
 	m.finalize()
+	if m.aud != nil {
+		m.aud.RunChecks(m.engine.Now(), true)
+	}
 	res := &Result{Stats: m.St, Cycles: m.St.SMCycles, TimePS: m.St.ElapsedPS, TimedOut: !ok}
 	if !ok {
 		return res, fmt.Errorf("sim: run exceeded %d ps without quiescing", limitPS)

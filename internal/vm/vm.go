@@ -112,6 +112,17 @@ func (s *System) ensure(limit uint64) {
 // Size returns the current extent of the allocated address space.
 func (s *System) Size() uint64 { return s.brk }
 
+// Snapshot returns a copy of the allocated backing store. Two systems built
+// with the same configuration and the same allocation/initialization sequence
+// produce directly comparable snapshots, which is how the audit harness
+// checks a timing-simulated run bit-for-bit against the reference
+// interpreter.
+func (s *System) Snapshot() []byte {
+	out := make([]byte, s.brk)
+	copy(out, s.data[:s.brk])
+	return out
+}
+
 func (s *System) check(addr uint64, n int) {
 	if addr < heapBase || addr+uint64(n) > uint64(len(s.data)) {
 		panic(fmt.Sprintf("vm: access [%#x,%#x) outside allocated space [%#x,%#x)",
