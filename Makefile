@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet check audit bench bench-engine clean
+.PHONY: build test test-short test-race vet check audit chaos bench bench-engine clean
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,15 @@ check: build vet test-short
 # as `ndpsim -audit`.
 audit:
 	$(GO) test ./internal/sim -run Audit -v
+
+# Chaos differential suite: every Table 1 workload under every pinned fault
+# schedule (killed link, failed NSU, frozen vault, lossy mesh) plus seeded
+# random schedules, all three modes, memory cross-checked bit-for-bit against
+# the fault-free reference interpreter. The schedules and seeds are pinned in
+# internal/sim/chaos.go, so the matrix is fully deterministic. The default
+# `make test` runs a representative subset; this is the exhaustive matrix.
+chaos:
+	NDPGPU_CHAOS_FULL=1 $(GO) test ./internal/sim -run 'Chaos|FaultNoOp' -timeout 45m -v
 
 # Macro benchmark: one full VADD simulation per iteration (see BENCH_pr1.json
 # for the recorded before/after numbers).

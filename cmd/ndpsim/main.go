@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ndpsim -workload VADD -mode dyncache -scale 1 [-sms 64] [-nsumhz 350] [-verify]
+//	ndpsim -workload FWT -mode naive -faults 'nsufail:t=2000000:hmc=3;timeout=2000'
 //	ndpsim -audit
 //
 // Modes: baseline, morecore, naive, static=<p>, dyn, dyncache.
@@ -25,6 +26,7 @@ import (
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/energy"
+	"ndpgpu/internal/fault"
 	"ndpgpu/internal/prof"
 	"ndpgpu/internal/report"
 	"ndpgpu/internal/sim"
@@ -67,6 +69,7 @@ func main() {
 		sms      = flag.Int("sms", 0, "override SM count (0 = Table 2 default)")
 		nsuMHz   = flag.Int("nsumhz", 0, "override NSU clock in MHz (0 = default 350)")
 		roCache  = flag.Bool("nsurocache", false, "enable the §7.1 NSU read-only cache extension")
+		faults   = flag.String("faults", "", "fault schedule, e.g. 'nsufail:t=2000000:hmc=3;drop:p=0.01;seed=7' (see README)")
 		verify   = flag.Bool("verify", true, "check functional output against the host reference")
 		audit    = flag.Bool("audit", false, "run the full invariant audit suite and exit")
 		list     = flag.Bool("list", false, "list workloads and exit")
@@ -103,6 +106,13 @@ func main() {
 	}
 	if *roCache {
 		cfg.NSU.ReadOnlyCacheBytes = 8 << 10
+	}
+	if *faults != "" {
+		fc, err := fault.Parse(*faults, cfg.NumHMCs, cfg.HMC.NumVaults)
+		if err != nil {
+			fatal(fmt.Errorf("bad -faults schedule: %w", err))
+		}
+		cfg.Fault = fc
 	}
 	m, cfg, err := ParseMode(*mode, cfg)
 	if err != nil {

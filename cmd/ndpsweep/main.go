@@ -7,6 +7,10 @@
 //
 // Experiments: table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 inval
 // morecompute nsufreq rocache topology overhead all.
+//
+// A failing experiment no longer aborts the sweep: the remaining
+// experiments still run (dependents of the failed one are skipped), a
+// FAILURES section lists every error, and the exit status is nonzero.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/experiments"
+	"ndpgpu/internal/fault"
 	"ndpgpu/internal/prof"
 	"ndpgpu/internal/report"
 	"ndpgpu/internal/sim"
@@ -41,6 +46,7 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment to run")
 		scale   = flag.Int("scale", 1, "problem-size scale factor")
 		audit   = flag.Bool("audit", false, "preflight the invariant audit suite before the sweep")
+		faults  = flag.String("faults", "", "fault schedule applied to every run (see README)")
 		csvDir  = flag.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -55,6 +61,14 @@ func main() {
 	defer stopProf()
 
 	cfg := config.Default()
+	if *faults != "" {
+		fc, err := fault.Parse(*faults, cfg.NumHMCs, cfg.HMC.NumVaults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndpsweep: bad -faults schedule:", err)
+			os.Exit(1)
+		}
+		cfg.Fault = fc
+	}
 	w := os.Stdout
 	start := time.Now()
 
@@ -70,10 +84,23 @@ func main() {
 		return false
 	}
 
-	fail := func(err error) {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ndpsweep:", err)
-			os.Exit(1)
+	// check records a per-experiment error without aborting the sweep, so
+	// a single broken leg cannot hide the results of every later experiment.
+	// It returns false on error; callers use that to skip dependents.
+	var failures []string
+	check := func(name string, err error) bool {
+		if err == nil {
+			return true
+		}
+		fmt.Fprintf(os.Stderr, "ndpsweep: %s: %v\n", name, err)
+		failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+		return false
+	}
+	skip := func(names ...string) {
+		for _, n := range names {
+			if need(n) {
+				failures = append(failures, n+": skipped (dependency failed)")
+			}
 		}
 	}
 
@@ -96,13 +123,14 @@ func main() {
 			}
 		}
 		if bad > 0 {
-			fail(fmt.Errorf("audit preflight: %d of %d legs failed", bad, n))
+			fmt.Fprintf(os.Stderr, "ndpsweep: audit preflight: %d of %d legs failed\n", bad, n)
+			os.Exit(1)
 		}
 		fmt.Fprintf(w, "[audit preflight: %d legs clean]\n", n)
 	}
 
 	if need("table1") {
-		fail(experiments.Table1(w, cfg, *scale))
+		check("table1", experiments.Table1(w, cfg, *scale))
 	}
 	if need("table2") {
 		experiments.Table2(w, cfg)
@@ -115,58 +143,71 @@ func main() {
 	}
 	if need("fig7", "fig8") {
 		f7, err := experiments.Figure7(w, cfg, *scale)
-		fail(err)
-		if need("fig8") {
-			experiments.Figure8(w, f7)
-		}
-		if *csvDir != "" {
-			t := report.New("Figure 7 speedups over Baseline", "workload", "morecore", "naive")
-			for _, wl := range experiments.Workloads() {
-				base := f7.Rows[wl]["Baseline"]
-				t.AddFloats(wl,
-					f7.Rows[wl]["Baseline_MoreCore"].Speedup(base),
-					f7.Rows[wl]["NaiveNDP"].Speedup(base))
+		if check("fig7", err) {
+			if need("fig8") {
+				experiments.Figure8(w, f7)
 			}
-			fail(writeCSV(*csvDir, "fig7.csv", t))
+			if *csvDir != "" {
+				t := report.New("Figure 7 speedups over Baseline", "workload", "morecore", "naive")
+				for _, wl := range experiments.Workloads() {
+					base := f7.Rows[wl]["Baseline"]
+					t.AddFloats(wl,
+						f7.Rows[wl]["Baseline_MoreCore"].Speedup(base),
+						f7.Rows[wl]["NaiveNDP"].Speedup(base))
+				}
+				check("fig7.csv", writeCSV(*csvDir, "fig7.csv", t))
+			}
+		} else {
+			skip("fig8")
 		}
 	}
 	if need("fig9", "fig10", "fig11", "inval") {
 		f9, err := experiments.Figure9(w, cfg, *scale)
-		fail(err)
-		if *csvDir != "" {
-			cols := append([]string{"workload"}, f9.Modes[1:]...)
-			t := report.New("Figure 9 speedups over Baseline", cols...)
-			for _, wl := range experiments.Workloads() {
-				base := f9.Rows[wl]["Baseline"]
-				vals := make([]float64, 0, len(f9.Modes)-1)
-				for _, mode := range f9.Modes[1:] {
-					vals = append(vals, f9.Rows[wl][mode].Speedup(base))
+		if check("fig9", err) {
+			if *csvDir != "" {
+				cols := append([]string{"workload"}, f9.Modes[1:]...)
+				t := report.New("Figure 9 speedups over Baseline", cols...)
+				for _, wl := range experiments.Workloads() {
+					base := f9.Rows[wl]["Baseline"]
+					vals := make([]float64, 0, len(f9.Modes)-1)
+					for _, mode := range f9.Modes[1:] {
+						vals = append(vals, f9.Rows[wl][mode].Speedup(base))
+					}
+					t.AddFloats(wl, vals...)
 				}
-				t.AddFloats(wl, vals...)
+				check("fig9.csv", writeCSV(*csvDir, "fig9.csv", t))
 			}
-			fail(writeCSV(*csvDir, "fig9.csv", t))
-		}
-		if need("fig10") {
-			experiments.Figure10(w, f9)
-		}
-		if need("fig11") {
-			experiments.Figure11(w, f9, cfg)
-		}
-		if need("inval") {
-			experiments.InvalOverhead(w, f9)
+			if need("fig10") {
+				experiments.Figure10(w, f9)
+			}
+			if need("fig11") {
+				experiments.Figure11(w, f9, cfg)
+			}
+			if need("inval") {
+				experiments.InvalOverhead(w, f9)
+			}
+		} else {
+			skip("fig10", "fig11", "inval")
 		}
 	}
 	if need("morecompute") {
-		fail(experiments.MoreCompute(w, *scale))
+		check("morecompute", experiments.MoreCompute(w, *scale))
 	}
 	if need("nsufreq") {
-		fail(experiments.NSUFreq(w, *scale))
+		check("nsufreq", experiments.NSUFreq(w, *scale))
 	}
 	if need("rocache") {
-		fail(experiments.ROCacheAblation(w, *scale))
+		check("rocache", experiments.ROCacheAblation(w, *scale))
 	}
 	if need("topology") {
-		fail(experiments.TopologyAblation(w, *scale))
+		check("topology", experiments.TopologyAblation(w, *scale))
 	}
 	fmt.Fprintf(w, "\n[%s in %.1fs]\n", *exp, time.Since(start).Seconds())
+	if len(failures) > 0 {
+		fmt.Fprintf(w, "\nFAILURES (%d):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
 }

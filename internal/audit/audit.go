@@ -159,6 +159,7 @@ type offloadInfo struct {
 	openedAt     timing.PS
 	target       int
 	numLD, numST int
+	tag          core.ProtoTag // fault runs: which instance/attempt is live
 }
 
 // Network audits the interconnect: packet conservation (keyed on packet
@@ -174,6 +175,22 @@ type Network struct {
 
 	inflight map[any]packetInfo
 	offloads map[core.OffloadID]offloadInfo
+
+	// Lossy mode: under fault injection packets may legally be dropped
+	// (link loss, CRC discard, unreachable route) and protocol packets may
+	// legally be retransmitted or arrive stale. The conservation invariant
+	// becomes "every packet is ejected exactly once OR explicitly reported
+	// dropped", and the offload state machine is taught to distinguish a
+	// retransmission (same or newer ProtoTag) from an illegal re-issue.
+	// Off (the default), the original strict invariants apply unchanged.
+	lossy bool
+
+	// Lossy-mode tallies: legal events that the strict checkers would have
+	// flagged; exposed so tests can assert faults actually exercised them.
+	LegalDrops  int64 // packets reported via Dropped
+	Retransmits int64 // command re-issues with a newer attempt/instance
+	StaleObs    int64 // stale protocol packets tolerated
+	Abandons    int64 // blocks closed by host fallback instead of an ack
 }
 
 // NewNetwork builds the fabric auditor. maxHops is the network diameter, the
@@ -187,6 +204,40 @@ func NewNetwork(a *Auditor, maxHops int) *Network {
 	}
 	a.Register("network-drain", n.checkDrain)
 	return n
+}
+
+// SetLossy switches the network auditor into fault-tolerant mode (see the
+// lossy field) and raises the hop bound to maxHops, the routing layer's own
+// detour safety bound — reroutes around dead links legally exceed the
+// fault-free diameter.
+func (n *Network) SetLossy(maxHops int) {
+	n.lossy = true
+	if maxHops > n.maxHops {
+		n.maxHops = maxHops
+	}
+}
+
+// Dropped records a packet the fabric legally lost (injected drop, CRC
+// discard, or no live route). It accounts for the packet in place of the
+// Inject/Eject pair, so conservation still holds at drain. Calling it
+// outside lossy mode is a violation: the fault-free fabric never drops.
+func (n *Network) Dropped(now timing.PS, src, dst int, msg any) {
+	if !n.lossy {
+		n.a.Reportf(now, routeName(src, dst), "packet-conservation",
+			"%T dropped by a fault-free fabric", msg)
+		return
+	}
+	n.LegalDrops++
+}
+
+// Abandon records that the GPU gave up on an offload block (host fallback
+// after retry exhaustion or quarantine): the block closes without an ack,
+// and any packets of it still in flight will be tolerated as stale.
+func (n *Network) Abandon(now timing.PS, id core.OffloadID) {
+	if _, open := n.offloads[id]; open {
+		n.Abandons++
+		delete(n.offloads, id)
+	}
 }
 
 // Inject records a packet entering the fabric. src/dst are HMC ids or
@@ -234,16 +285,20 @@ func (n *Network) observe(now timing.PS, dst int, msg any) {
 	switch m := msg.(type) {
 	case *core.CmdPacket:
 		if o, open := n.offloads[m.ID]; open {
-			n.a.Reportf(now, fmt.Sprintf("offload(sm%d,w%d)", m.ID.SM, m.ID.Warp),
-				"offload-protocol", "command re-issued while block opened at %dps is live", o.openedAt)
+			if n.lossy && (m.Tag.Inst != o.tag.Inst || m.Tag.Attempt > o.tag.Attempt) {
+				n.Retransmits++
+			} else {
+				n.a.Reportf(now, fmt.Sprintf("offload(sm%d,w%d)", m.ID.SM, m.ID.Warp),
+					"offload-protocol", "command re-issued while block opened at %dps is live", o.openedAt)
+			}
 		}
 		if dst != m.Target {
 			n.a.Reportf(now, fmt.Sprintf("offload(sm%d,w%d)", m.ID.SM, m.ID.Warp),
 				"offload-protocol", "command routed to hmc%d but targets nsu%d", dst, m.Target)
 		}
-		n.offloads[m.ID] = offloadInfo{openedAt: now, target: m.Target, numLD: m.NumLD, numST: m.NumST}
+		n.offloads[m.ID] = offloadInfo{openedAt: now, target: m.Target, numLD: m.NumLD, numST: m.NumST, tag: m.Tag}
 	case *core.RDFPacket:
-		o := n.requireOpen(now, m.ID, "RDF")
+		o := n.requireOpen(now, m.ID, m.Tag, "RDF")
 		if o != nil {
 			n.checkSeq(now, m.ID, "RDF", m.Seq, o.numLD)
 			if m.Target != o.target {
@@ -252,37 +307,58 @@ func (n *Network) observe(now timing.PS, dst int, msg any) {
 			}
 		}
 	case *core.RDFResp:
-		if o := n.requireOpen(now, m.ID, "RDF response"); o != nil {
+		if o := n.requireOpen(now, m.ID, m.Tag, "RDF response"); o != nil {
 			n.checkSeq(now, m.ID, "RDF response", m.Seq, o.numLD)
 		}
 	case *core.RDFRef:
-		if o := n.requireOpen(now, m.ID, "RDF reference"); o != nil {
+		if o := n.requireOpen(now, m.ID, m.Tag, "RDF reference"); o != nil {
 			n.checkSeq(now, m.ID, "RDF reference", m.Seq, o.numLD)
 		}
 	case *core.WTAPacket:
-		if o := n.requireOpen(now, m.ID, "WTA"); o != nil {
+		if o := n.requireOpen(now, m.ID, m.Tag, "WTA"); o != nil {
 			n.checkSeq(now, m.ID, "WTA", m.Seq, o.numST)
 		}
 	case *core.WritePacket:
-		if o := n.requireOpen(now, m.ID, "NSU write"); o != nil {
+		if o := n.requireOpen(now, m.ID, m.Tag, "NSU write"); o != nil {
 			n.checkSeq(now, m.ID, "NSU write", m.Seq, o.numST)
 		}
 	case *core.WriteAck:
-		n.requireOpen(now, m.ID, "write ack")
+		n.requireOpen(now, m.ID, m.Tag, "write ack")
 	case *core.AckPacket:
-		if _, open := n.offloads[m.ID]; !open {
+		o, open := n.offloads[m.ID]
+		switch {
+		case !open && n.lossy:
+			n.StaleObs++ // duplicate ack after the block already closed
+			return
+		case !open:
 			n.a.Reportf(now, fmt.Sprintf("offload(sm%d,w%d)", m.ID.SM, m.ID.Warp),
 				"offload-protocol", "acknowledgment for a block that is not open")
+		case n.lossy && o.tag.Inst != m.Tag.Inst:
+			n.StaleObs++ // ack of a previous instance; must not close this one
+			return
 		}
 		delete(n.offloads, m.ID)
 	}
 }
 
-func (n *Network) requireOpen(now timing.PS, id core.OffloadID, kind string) *offloadInfo {
+func (n *Network) requireOpen(now timing.PS, id core.OffloadID, tag core.ProtoTag, kind string) *offloadInfo {
 	o, open := n.offloads[id]
 	if !open {
+		if n.lossy {
+			n.StaleObs++ // late packet of an acked or abandoned block
+			return nil
+		}
 		n.a.Reportf(now, fmt.Sprintf("offload(sm%d,w%d)", id.SM, id.Warp),
 			"offload-protocol", "%s packet for a block that is not open", kind)
+		return nil
+	}
+	if n.lossy && tag.Inst < o.tag.Inst {
+		// A straggler from an earlier instance of this warp slot, delayed in
+		// the memory hierarchy past the abandon that closed its block and the
+		// command that opened the current one. The receiver drops it by tag;
+		// checking it against the new block's target or sequence ranges would
+		// be comparing two different blocks.
+		n.StaleObs++
 		return nil
 	}
 	return &o

@@ -113,6 +113,20 @@ type HMCConfig struct {
 	// paper's choice, 3 links/stack) or "ring" (2 links/stack) for the
 	// design-choice ablation.
 	NetTopology string
+
+	// OverflowCap bounds the logic-layer retry-overflow queue (requests
+	// that found their vault queue full). When the queue is at the cap the
+	// stack stops popping its network inbox, pushing backpressure into the
+	// mesh instead of growing without bound. 0 = default 8x VaultQueue.
+	OverflowCap int
+}
+
+// EffOverflowCap returns OverflowCap with the default applied.
+func (h HMCConfig) EffOverflowCap() int {
+	if h.OverflowCap > 0 {
+		return h.OverflowCap
+	}
+	return 8 * h.VaultQueue
 }
 
 // NSUConfig describes the near-data SIMD unit on each stack's logic layer.
@@ -167,6 +181,92 @@ type MemConfig struct {
 	PlacementSeed int64 // seed for random page->HMC placement
 }
 
+// FaultEvent is one scheduled fault. Times are absolute simulated
+// picoseconds; DurPS==0 makes the fault permanent (legal for linkdown and
+// nsufail; vaultfreeze and nsustall must be windowed so the run can drain).
+type FaultEvent struct {
+	Kind  string // "linkdown", "nsustall", "nsufail", "vaultfreeze"
+	AtPS  int64  // activation time
+	DurPS int64  // window length; 0 = permanent
+	HMC   int    // stack the fault hits
+	Dim   int    // linkdown: hypercube dimension (or ring direction 0/1)
+	Vault int    // vaultfreeze: vault index within the stack
+}
+
+// FaultConfig is the deterministic fault schedule plus the resilience
+// protocol knobs. The zero value means "no faults": every injection and
+// recovery path in the simulator is compiled out behind a nil injector, so
+// an empty schedule is a strict no-op.
+type FaultConfig struct {
+	Events []FaultEvent
+
+	// Probabilistic per-packet faults on inter-HMC mesh links only (the
+	// GPU<->HMC host links are modeled reliable, as their flow control is
+	// not part of the paper's memory network). Draws come from a dedicated
+	// PRNG seeded with Seed, so schedules are reproducible.
+	Seed        int64
+	DropProb    float64 // probability a mesh packet is silently lost
+	CorruptProb float64 // probability a mesh packet is discarded at CRC check
+
+	// Offload-protocol resilience knobs (0 = default).
+	TimeoutCycles int64 // SM cycles before the first per-block retry fires
+	MaxRetries    int   // retries before host-side fallback + quarantine
+}
+
+// Enabled reports whether any fault can ever fire. When false the simulator
+// builds no injector and all fault paths stay on their zero-cost branches.
+func (f FaultConfig) Enabled() bool {
+	return len(f.Events) > 0 || f.DropProb > 0 || f.CorruptProb > 0
+}
+
+// EffTimeoutCycles returns TimeoutCycles with the default applied.
+func (f FaultConfig) EffTimeoutCycles() int64 {
+	if f.TimeoutCycles > 0 {
+		return f.TimeoutCycles
+	}
+	return 30000
+}
+
+// EffMaxRetries returns MaxRetries with the default applied.
+func (f FaultConfig) EffMaxRetries() int {
+	if f.MaxRetries > 0 {
+		return f.MaxRetries
+	}
+	return 3
+}
+
+// Validate checks the fault schedule for internal consistency.
+func (f FaultConfig) Validate(numHMCs, numVaults int) error {
+	for _, e := range f.Events {
+		if e.AtPS < 0 || e.DurPS < 0 {
+			return fmt.Errorf("fault %s: negative time", e.Kind)
+		}
+		if e.HMC < 0 || e.HMC >= numHMCs {
+			return fmt.Errorf("fault %s: hmc %d out of range [0,%d)", e.Kind, e.HMC, numHMCs)
+		}
+		switch e.Kind {
+		case "linkdown":
+			if e.Dim < 0 {
+				return fmt.Errorf("linkdown: negative dimension %d", e.Dim)
+			}
+		case "nsufail":
+		case "nsustall", "vaultfreeze":
+			if e.DurPS == 0 {
+				return fmt.Errorf("fault %s must be windowed (dur > 0), or the run cannot drain", e.Kind)
+			}
+			if e.Kind == "vaultfreeze" && (e.Vault < 0 || e.Vault >= numVaults) {
+				return fmt.Errorf("vaultfreeze: vault %d out of range [0,%d)", e.Vault, numVaults)
+			}
+		default:
+			return fmt.Errorf("unknown fault kind %q", e.Kind)
+		}
+	}
+	if f.DropProb < 0 || f.DropProb > 1 || f.CorruptProb < 0 || f.CorruptProb > 1 {
+		return errors.New("fault drop/corrupt probabilities must be in [0,1]")
+	}
+	return nil
+}
+
 // Config is the complete system configuration.
 type Config struct {
 	GPU     GPUConfig
@@ -175,6 +275,7 @@ type Config struct {
 	NSU     NSUConfig
 	NDP     NDPConfig
 	Mem     MemConfig
+	Fault   FaultConfig // zero value = fault-free (strict no-op)
 }
 
 // Default returns the Table 2 configuration.
@@ -350,6 +451,9 @@ func (c Config) Validate() error {
 	}
 	if c.NDP.EpochCycles <= 0 {
 		return errors.New("epoch length must be positive")
+	}
+	if err := c.Fault.Validate(c.NumHMCs, c.HMC.NumVaults); err != nil {
+		return err
 	}
 	return nil
 }

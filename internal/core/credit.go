@@ -41,6 +41,12 @@ type BufferManager struct {
 	credits [][numBufferKinds]int
 	initial [numBufferKinds]int
 
+	// quarantined marks NSUs the GPU has written off after a fault:
+	// reservations fail, credit returns become no-ops (the credits of a
+	// dead stack are unaccountable), and AllReturned ignores the target.
+	// nil on the fault-free path.
+	quarantined []bool
+
 	Rejects int64 // reservation attempts denied for lack of credits
 }
 
@@ -59,6 +65,10 @@ func NewBufferManager(cfg config.Config) *BufferManager {
 // Reserve attempts to take 1 command, numLD read-data, and numST
 // write-address credits for the target NSU. Reservation is all-or-nothing.
 func (m *BufferManager) Reserve(target, numLD, numST int) bool {
+	if m.quarantined != nil && m.quarantined[target] {
+		m.Rejects++
+		return false
+	}
 	c := &m.credits[target]
 	if c[CmdBuffer] < 1 || c[ReadDataBuffer] < numLD || c[WriteAddrBuffer] < numST {
 		m.Rejects++
@@ -74,6 +84,9 @@ func (m *BufferManager) Reserve(target, numLD, numST int) bool {
 // are piggybacked on response packets in the paper, so returning them has no
 // modeled traffic cost.
 func (m *BufferManager) Return(target int, kind BufferKind, n int) {
+	if m.quarantined != nil && m.quarantined[target] {
+		return
+	}
 	c := &m.credits[target]
 	c[kind] += n
 	if c[kind] > m.initial[kind] {
@@ -95,12 +108,29 @@ func (m *BufferManager) Initial(kind BufferKind) int { return m.initial[kind] }
 func (m *BufferManager) NumTargets() int { return len(m.credits) }
 
 // AllReturned reports whether every NSU's credits are back at their initial
-// values — the quiescence invariant checked after each run.
+// values — the quiescence invariant checked after each run. Quarantined
+// targets are exempt: their outstanding credits died with the stack.
 func (m *BufferManager) AllReturned() bool {
 	for i := range m.credits {
+		if m.quarantined != nil && m.quarantined[i] {
+			continue
+		}
 		if m.credits[i] != m.initial {
 			return false
 		}
 	}
 	return true
+}
+
+// Quarantine permanently writes off the target NSU (fault path only).
+func (m *BufferManager) Quarantine(target int) {
+	if m.quarantined == nil {
+		m.quarantined = make([]bool, len(m.credits))
+	}
+	m.quarantined[target] = true
+}
+
+// Quarantined reports whether the target NSU has been written off.
+func (m *BufferManager) Quarantined(target int) bool {
+	return m.quarantined != nil && m.quarantined[target]
 }

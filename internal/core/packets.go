@@ -31,6 +31,16 @@ type OffloadID struct {
 	Warp int32
 }
 
+// ProtoTag disambiguates retransmissions under fault injection: Inst is a
+// per-warp offload-instance counter (a warp slot runs many blocks over a
+// run) and Attempt counts retries of the current instance. Both ride in the
+// existing sequence-number field of the Figure 4 header, so they add no
+// modeled bytes and are ignored (left zero) on the fault-free path.
+type ProtoTag struct {
+	Inst    int32
+	Attempt int16
+}
+
 // RegSet carries register values for the active threads of a warp.
 type RegSet struct {
 	Regs []RegVals
@@ -54,6 +64,7 @@ func (r RegSet) Bytes(mask uint32) int {
 // CmdPacket initiates offloaded execution on the target NSU (Figure 4(a)).
 type CmdPacket struct {
 	ID      OffloadID
+	Tag     ProtoTag
 	BlockID int
 	Mask    uint32 // active thread mask
 	Target  int    // target NSU / HMC id
@@ -79,6 +90,7 @@ type LineAccess struct {
 // target NSU.
 type RDFPacket struct {
 	ID     OffloadID
+	Tag    ProtoTag
 	Seq    int // load index within the block
 	Target int
 	Access LineAccess
@@ -100,6 +112,7 @@ func (p *RDFPacket) Size() int {
 // It is generated either by the GPU (on a cache hit) or by the home vault.
 type RDFResp struct {
 	ID        OffloadID
+	Tag       ProtoTag
 	Seq       int
 	Mask      uint32
 	Data      [WarpWidth]uint32
@@ -116,6 +129,7 @@ func (p *RDFResp) Size() int { return HeaderBytes + WordBytes*bits.OnesCount32(p
 // only sends it for lines its per-NSU directory knows the NSU holds.
 type RDFRef struct {
 	ID        OffloadID
+	Tag       ProtoTag
 	Seq       int
 	Access    LineAccess
 	TotalPkts int
@@ -133,6 +147,7 @@ func (p *RDFRef) Size() int {
 // target NSU (Figure 4(b)).
 type WTAPacket struct {
 	ID        OffloadID
+	Tag       ProtoTag
 	Seq       int // store index within the block
 	Target    int
 	Access    LineAccess
@@ -151,6 +166,7 @@ func (p *WTAPacket) Size() int {
 // (possibly in another stack, over the memory network).
 type WritePacket struct {
 	ID     OffloadID
+	Tag    ProtoTag
 	Seq    int
 	Source int // NSU that issued the write (ack destination)
 	Access LineAccess
@@ -163,6 +179,7 @@ func (p *WritePacket) Size() int { return HeaderBytes + WordBytes*bits.OnesCount
 // WriteAck acknowledges a WritePacket back to the issuing NSU.
 type WriteAck struct {
 	ID  OffloadID
+	Tag ProtoTag
 	Seq int
 }
 
@@ -184,6 +201,7 @@ func (p *InvalPacket) Size() int { return SmallBytes }
 // only the lanes it was written for.
 type AckPacket struct {
 	ID   OffloadID
+	Tag  ProtoTag
 	Mask uint32
 	Out  RegSet
 }

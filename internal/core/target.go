@@ -28,6 +28,45 @@ func SelectTarget(hmcs []int, numHMCs int) int {
 	return best
 }
 
+// SelectTargetHealthy is SelectTarget restricted to non-quarantined stacks
+// (fault path only): the majority vote runs over healthy HMCs, so a block
+// whose first access lands on a quarantined stack is steered to the
+// healthiest remaining candidate. Returns -1 when no accessed HMC is
+// healthy; the caller then executes the block host-side.
+func SelectTargetHealthy(hmcs []int, numHMCs int, healthy func(int) bool) int {
+	if len(hmcs) == 0 {
+		for h := 0; h < numHMCs; h++ {
+			if healthy(h) {
+				return h
+			}
+		}
+		return -1
+	}
+	var cbuf [32]int
+	var counts []int
+	if numHMCs > len(cbuf) {
+		counts = make([]int, numHMCs)
+	} else {
+		counts = cbuf[:numHMCs]
+	}
+	for _, h := range hmcs {
+		counts[h]++
+	}
+	// Seed the vote with the first access's HMC so the tie-break matches
+	// SelectTarget exactly: with every stack healthy the two policies must
+	// pick identical targets (the no-fault run is bit-reproducible).
+	best := -1
+	if healthy(hmcs[0]) {
+		best = hmcs[0]
+	}
+	for h, c := range counts {
+		if c > 0 && healthy(h) && (best < 0 || c > counts[best]) {
+			best = h
+		}
+	}
+	return best
+}
+
 // SelectOptimal is the oracle policy of Figure 5: choose the HMC with the
 // most accesses across ALL memory accesses of the block. The paper rejects
 // it because it would require buffering every generated address; it exists

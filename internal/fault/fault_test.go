@@ -1,0 +1,305 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/timing"
+)
+
+func TestBackoff(t *testing.T) {
+	cases := []struct {
+		base    int64
+		attempt int
+		want    int64
+	}{
+		{100, 0, 100},
+		{100, 1, 200},
+		{100, 2, 400},
+		{100, 3, 800},
+		{2000, 0, 2000},
+		{2000, 3, 16000},
+		{100, -5, 100},      // negative attempts clamp to the first try
+		{1, 20, 1 << 16},    // shift clamps at 16
+		{1, 1000, 1 << 16},  // far past the clamp
+		{30000, 16, 30000 << 16},
+	}
+	for _, c := range cases {
+		if got := Backoff(c.base, c.attempt); got != c.want {
+			t.Errorf("Backoff(%d, %d) = %d, want %d", c.base, c.attempt, got, c.want)
+		}
+	}
+}
+
+func TestTotalWindow(t *testing.T) {
+	cases := []struct {
+		base       int64
+		maxRetries int
+		want       int64
+	}{
+		{100, 0, 100},           // single attempt, no retry
+		{100, 1, 300},           // 100 + 200
+		{100, 3, 1500},          // 100 + 200 + 400 + 800
+		{2000, 3, 30000},        // the chaos-suite knobs
+		{30000, 3, 450000},      // the defaults
+	}
+	for _, c := range cases {
+		if got := TotalWindow(c.base, c.maxRetries); got != c.want {
+			t.Errorf("TotalWindow(%d, %d) = %d, want %d", c.base, c.maxRetries, got, c.want)
+		}
+	}
+	// The NSU abort deadline contract: the total window strictly dominates
+	// every single attempt's timeout.
+	for a := 0; a <= 3; a++ {
+		if TotalWindow(2000, 3) <= Backoff(2000, a) {
+			t.Fatalf("TotalWindow does not dominate attempt %d", a)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	fc, err := Parse(
+		"linkdown:t=2000000:hmc=3:dim=1:dur=500000;"+
+			"nsustall:t=1000:hmc=0:dur=9000;"+
+			"nsufail:t=5000000:hmc=7;"+
+			"vaultfreeze:t=1:hmc=2:vault=15:dur=2;"+
+			"drop:p=0.01;corrupt:p=0.001;seed=42;timeout=2000;retries=5",
+		8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(fc.Events))
+	}
+	ld := fc.Events[0]
+	if ld.Kind != "linkdown" || ld.AtPS != 2000000 || ld.HMC != 3 || ld.Dim != 1 || ld.DurPS != 500000 {
+		t.Errorf("linkdown parsed as %+v", ld)
+	}
+	vf := fc.Events[3]
+	if vf.Kind != "vaultfreeze" || vf.Vault != 15 || vf.DurPS != 2 {
+		t.Errorf("vaultfreeze parsed as %+v", vf)
+	}
+	if fc.DropProb != 0.01 || fc.CorruptProb != 0.001 {
+		t.Errorf("probs = %v/%v", fc.DropProb, fc.CorruptProb)
+	}
+	if fc.Seed != 42 || fc.TimeoutCycles != 2000 || fc.MaxRetries != 5 {
+		t.Errorf("knobs = seed %d timeout %d retries %d", fc.Seed, fc.TimeoutCycles, fc.MaxRetries)
+	}
+	if !fc.Enabled() {
+		t.Error("parsed schedule not Enabled")
+	}
+
+	// Whitespace and empty items are tolerated.
+	fc2, err := Parse(" drop:p=0.5 ; ; ", 8, 16)
+	if err != nil || fc2.DropProb != 0.5 {
+		t.Errorf("whitespace parse: %v %v", fc2.DropProb, err)
+	}
+
+	// rand: expands to n deterministic events that pass validation.
+	fr1, err := Parse("rand:seed=9:n=6", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr1.Events) != 6 || fr1.Seed != 9 {
+		t.Fatalf("rand parse: %d events, seed %d", len(fr1.Events), fr1.Seed)
+	}
+	fr2, _ := Parse("rand:seed=9:n=6", 8, 16)
+	if !reflect.DeepEqual(fr1, fr2) {
+		t.Error("rand schedule is not deterministic for a fixed seed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus:t=1:hmc=0",                     // unknown kind
+		"linkdown:hmc=0:dim=0",                // missing t
+		"linkdown:t=x:hmc=0",                  // bad integer
+		"linkdown:t=1:hmc=9:dim=0",            // hmc out of range (8 stacks)
+		"linkdown:t=1",                        // hmc missing -> -1 out of range
+		"nsustall:t=1:hmc=0",                  // stall must be windowed
+		"vaultfreeze:t=1:hmc=0:vault=99:dur=5", // vault out of range (16 vaults)
+		"vaultfreeze:t=1:hmc=0:vault=0",       // freeze must be windowed
+		"drop",                                // missing p
+		"drop:p=1.5",                          // probability out of [0,1]
+		"corrupt:p=abc",                       // bad float
+		"seed=xyz",                            // bad seed
+		"timeout=0",                           // timeout must be positive
+		"retries=-1",                          // retries must be positive
+		"linkdown:t=1:hmc=0:dim",              // malformed field (no '=')
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec, 8, 16); err == nil {
+			t.Errorf("Parse(%q) accepted a bad schedule", spec)
+		}
+	}
+}
+
+func mkInjector(t *testing.T, spec string) *Injector {
+	t.Helper()
+	fc, err := Parse(spec, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(fc, 8, 16, 3, false)
+}
+
+func TestInjectorWindows(t *testing.T) {
+	inj := mkInjector(t,
+		"nsustall:t=1000:hmc=2:dur=500;"+
+			"vaultfreeze:t=2000:hmc=1:vault=3:dur=100;"+
+			"nsufail:t=3000:hmc=4;"+
+			"linkdown:t=4000:hmc=0:dim=1:dur=1000")
+
+	if at := inj.NextEventAt(); at != 1000 {
+		t.Fatalf("first edge at %d, want 1000", at)
+	}
+	if inj.NSUStalled(999, 2) {
+		t.Error("stalled before the window opens")
+	}
+	if !inj.NSUStalled(1000, 2) || !inj.NSUStalled(1499, 2) {
+		t.Error("not stalled inside the window")
+	}
+	if inj.NSUStalled(1500, 2) {
+		t.Error("still stalled after the window closes")
+	}
+	if !inj.VaultFrozen(2050, 1, 3) || inj.VaultFrozen(2050, 1, 4) {
+		t.Error("vault freeze hit the wrong vault")
+	}
+	if inj.VaultFrozen(2100, 1, 3) {
+		t.Error("vault still frozen after the window")
+	}
+	if inj.NSUFailed(2999, 4) || !inj.NSUFailed(3000, 4) {
+		t.Error("nsufail edge did not fire at t=3000")
+	}
+	if !inj.NSUFailedApplied(4) {
+		t.Error("NSUFailedApplied disagrees with the last Apply")
+	}
+
+	v0 := inj.TopoVersion(3999)
+	if inj.LinkDead(3999, 0, 1) {
+		t.Error("link dead before its event")
+	}
+	if !inj.LinkDead(4000, 0, 1) {
+		t.Error("link alive inside its down window")
+	}
+	if inj.TopoVersion(4000) == v0 {
+		t.Error("topology version did not change on link death")
+	}
+	if inj.LinkDead(5000, 0, 1) {
+		t.Error("link still dead after recovery")
+	}
+	if !inj.NSUFailed(1<<40, 4) {
+		t.Error("nsufail without dur is not permanent")
+	}
+	if at := inj.NextEventAt(); at != timing.Never {
+		t.Errorf("exhausted schedule reports next edge at %d", at)
+	}
+}
+
+func TestLinkdownCanonicalization(t *testing.T) {
+	// Hypercube: the event may name either endpoint; state lives at the
+	// lower one. hmc=5 dim=1 is the 5-7 link, canonical slot (5,1).
+	inj := mkInjector(t, "linkdown:t=0:hmc=7:dim=1")
+	if !inj.LinkDead(0, 5, 1) {
+		t.Error("hypercube linkdown not canonicalized to the lower endpoint")
+	}
+	// Ring: odd dims name the counter-clockwise link out of hmc, which is
+	// physical link hmc-1 stored at dim 0.
+	fc, err := Parse("linkdown:t=0:hmc=3:dim=1", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := New(fc, 8, 16, 2, true)
+	if !ring.LinkDead(0, 2, 0) {
+		t.Error("ring linkdown not canonicalized to physical link 2")
+	}
+}
+
+func TestDrawDropDeterminism(t *testing.T) {
+	mk := func() *Injector { return mkInjector(t, "drop:p=0.3;corrupt:p=0.1;seed=7") }
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		ad, ac := a.DrawDrop()
+		bd, bc := b.DrawDrop()
+		if ad != bd || ac != bc {
+			t.Fatalf("draw %d diverged between identically-seeded injectors", i)
+		}
+		if ad && ac {
+			t.Fatal("a packet cannot be both dropped and corrupted")
+		}
+	}
+	if a.Drops == 0 || a.Corrupts == 0 {
+		t.Errorf("1000 draws at p=0.3/0.1 produced drops=%d corrupts=%d", a.Drops, a.Corrupts)
+	}
+
+	// Zero probabilities never drop and consume no PRNG state, so a dormant
+	// injector cannot perturb anything through the drop path.
+	quiet := mkInjector(t, "nsufail:t=1:hmc=0")
+	before := quiet.rng.state
+	for i := 0; i < 100; i++ {
+		if d, c := quiet.DrawDrop(); d || c {
+			t.Fatal("drop with zero probabilities")
+		}
+	}
+	if quiet.rng.state != before {
+		t.Error("zero-probability DrawDrop consumed PRNG state")
+	}
+}
+
+func TestCommitBoard(t *testing.T) {
+	inj := mkInjector(t, "nsufail:t=1:hmc=0")
+	id := core.OffloadID{SM: 2, Warp: 5}
+	if inj.InstanceCommitted(id, 0) {
+		t.Fatal("empty board reports a commit")
+	}
+	inj.CommitInstance(id, 3)
+	if !inj.InstanceCommitted(id, 3) {
+		t.Fatal("posted commit not visible")
+	}
+	if inj.InstanceCommitted(id, 2) || inj.InstanceCommitted(id, 4) {
+		t.Fatal("commit record matched a different instance")
+	}
+	inj.ForgetInstance(id)
+	if inj.InstanceCommitted(id, 3) {
+		t.Fatal("forgotten commit still visible")
+	}
+}
+
+func TestAbandonBoard(t *testing.T) {
+	inj := mkInjector(t, "nsufail:t=1:hmc=0")
+	id := core.OffloadID{SM: 1, Warp: 7}
+	if inj.InstanceAbandoned(id, 0) {
+		t.Fatal("empty board reports an abandon")
+	}
+	inj.AbandonInstance(id, 4)
+	if !inj.InstanceAbandoned(id, 4) {
+		t.Fatal("posted abandon not visible")
+	}
+	if inj.InstanceAbandoned(id, 3) || inj.InstanceAbandoned(id, 5) {
+		t.Fatal("abandon record matched a different instance")
+	}
+	// A later instance of the same warp slot overwrites the record: the
+	// board stays bounded by one entry per slot.
+	inj.AbandonInstance(id, 9)
+	if inj.InstanceAbandoned(id, 4) {
+		t.Fatal("overwritten abandon still visible")
+	}
+	if !inj.InstanceAbandoned(id, 9) {
+		t.Fatal("newer abandon not visible")
+	}
+}
+
+func TestRandomEventsValid(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		evs := RandomEvents(seed, 8, 8, 16)
+		if len(evs) != 8 {
+			t.Fatalf("seed %d: %d events, want 8", seed, len(evs))
+		}
+		fc := config.FaultConfig{Events: evs}
+		if err := fc.Validate(8, 16); err != nil {
+			t.Errorf("seed %d: invalid random schedule: %v", seed, err)
+		}
+	}
+}

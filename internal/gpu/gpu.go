@@ -11,6 +11,7 @@ import (
 	"ndpgpu/internal/cache"
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
+	"ndpgpu/internal/fault"
 	"ndpgpu/internal/isa"
 	"ndpgpu/internal/noc"
 	"ndpgpu/internal/stats"
@@ -59,6 +60,11 @@ type GPU struct {
 	wtaInflight []int64
 
 	smemArea map[[2]int]map[uint64]uint32
+
+	// Fault-injection state (nil/zero on the fault-free path).
+	flt           *fault.Injector
+	timeoutCycles int64 // first-attempt offload ack timeout, SM cycles
+	maxRetries    int
 }
 
 // New wires up a GPU over the given fabric and memory.
@@ -118,6 +124,49 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, fab *noc.Fab
 
 // BufferManager exposes the credit manager (the NSUs return credits to it).
 func (g *GPU) BufferManager() *core.BufferManager { return g.bufmgr }
+
+// SetFault attaches the fault injector and the resilient-offload protocol
+// parameters (§ fault model): the first-attempt ack timeout in SM cycles and
+// the retry budget before a block falls back to host execution.
+func (g *GPU) SetFault(inj *fault.Injector, timeoutCycles int64, maxRetries int) {
+	g.flt = inj
+	g.timeoutCycles = timeoutCycles
+	g.maxRetries = maxRetries
+}
+
+// attemptDeadline computes the timeout deadline for a retry attempt
+// (exponential backoff, base timeoutCycles).
+func (g *GPU) attemptDeadline(now timing.PS, attempt int) timing.PS {
+	return now + timing.PS(fault.Backoff(g.timeoutCycles, attempt))*g.smPeriod
+}
+
+// targetHealthy reports whether stack t can accept new offloads: not
+// administratively quarantined and its NSU not known-dead at now. The
+// first time a schedule-failed NSU is observed here the GPU converts the
+// detection into an administrative quarantine, so the stack is excluded
+// from selection and its credits exempted even when the failure fired
+// while no offload was in flight.
+func (g *GPU) targetHealthy(now timing.PS, t int) bool {
+	if g.bufmgr.Quarantined(t) {
+		return false
+	}
+	if g.flt.NSUFailed(now, t) {
+		g.quarantineTarget(t)
+		return false
+	}
+	return true
+}
+
+// quarantineTarget excludes stack t from future offload target selection and
+// exempts its credits from conservation accounting (the resilient protocol's
+// administrative quarantine on retry exhaustion or NSU death).
+func (g *GPU) quarantineTarget(t int) {
+	if g.bufmgr.Quarantined(t) {
+		return
+	}
+	g.bufmgr.Quarantine(t)
+	g.st.QuarantinedNSUs++
+}
 
 // ForEachCache invokes fn on every cache structure in the GPU: per-SM
 // L1D/L1I/TLB, the per-partition L2 slice tags, and the NSU read-only-cache
@@ -269,7 +318,12 @@ func (g *GPU) XbarTick(now timing.PS) {
 				sm.l1.Invalidate(m.LineAddr)
 			}
 			g.invalidateNSUDirs(m.LineAddr)
-			g.wtaInflight[m.HomeHMC]--
+			if g.flt == nil {
+				// Under fault injection the WTA in-flight ledger is disabled
+				// (retransmits and aborted NSU warps would unbalance it), so
+				// only decrement on the exactly-once path.
+				g.wtaInflight[m.HomeHMC]--
+			}
 		default:
 			panic("gpu: unexpected message in GPU inbox")
 		}
@@ -369,7 +423,7 @@ func (g *GPU) shipCachedLine(rdf *core.RDFPacket) (msg any, size int) {
 	if g.nsuDir != nil {
 		dir := g.nsuDir[rdf.Target]
 		if dir.Lookup(rdf.Access.LineAddr) {
-			ref := &core.RDFRef{ID: rdf.ID, Seq: rdf.Seq, Access: rdf.Access, TotalPkts: rdf.TotalPkts}
+			ref := &core.RDFRef{ID: rdf.ID, Tag: rdf.Tag, Seq: rdf.Seq, Access: rdf.Access, TotalPkts: rdf.TotalPkts}
 			return ref, ref.Size()
 		}
 		dir.Fill(rdf.Access.LineAddr)

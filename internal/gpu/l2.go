@@ -154,7 +154,7 @@ func (g *GPU) makeRDFResp(r *core.RDFPacket) *core.RDFResp {
 // MakeRDFResp reads the words covered by the RDF access out of functional
 // memory and packages them as an RDF response (Figure 4(c)).
 func MakeRDFResp(mem *vm.System, r *core.RDFPacket) *core.RDFResp {
-	resp := &core.RDFResp{ID: r.ID, Seq: r.Seq, Mask: r.Access.Mask, TotalPkts: r.TotalPkts}
+	resp := &core.RDFResp{ID: r.ID, Tag: r.Tag, Seq: r.Seq, Mask: r.Access.Mask, TotalPkts: r.TotalPkts}
 	for t := 0; t < core.WarpWidth; t++ {
 		if r.Access.Mask&(1<<uint(t)) != 0 {
 			addr := r.Access.LineAddr + uint64(r.Access.Offsets[t])*core.WordBytes

@@ -38,6 +38,15 @@ type offCtx struct {
 	// while the GPU is still walking the block). It is applied when the
 	// warp executes OFLD.END.
 	ack *core.AckPacket
+
+	// Resilient-protocol state, used only under fault injection. tag carries
+	// the instance/attempt sequence numbers for duplicate suppression;
+	// deadline is the current attempt's ack timeout; regSnap preserves the
+	// register file at OFLDBEG so a retry or host fallback can re-execute
+	// the block from unclobbered live-ins.
+	tag      core.ProtoTag
+	deadline timing.PS
+	regSnap  *[isa.NumRegs][core.WarpWidth]uint64
 }
 
 // coreBlock caches the analyzer block plus derived info the SM needs often.
@@ -171,6 +180,11 @@ type SM struct {
 	// it; flushIdle replays the batch before anything can observe the
 	// affected state (a dense tick, a mirror-dirtying event, finalization).
 	pendingIdle int64
+
+	// instSeq numbers offload instances per warp slot (monotonic across CTA
+	// reuse of the slot), feeding the duplicate-suppression tags of the
+	// resilient offload protocol. Only advanced under fault injection.
+	instSeq []int32
 }
 
 // outPkt is a packet waiting in the SM's NDP packet buffers.
@@ -199,6 +213,7 @@ func newSM(g *GPU, id int) *SM {
 		slotWake:  make([]timing.PS, g.cfg.WarpsPerSM()),
 		slotProbe: make([]bool, g.cfg.WarpsPerSM()),
 		slotLine:  make([]uint64, g.cfg.WarpsPerSM()),
+		instSeq:   make([]int32, g.cfg.WarpsPerSM()),
 	}
 }
 
@@ -388,6 +403,9 @@ func (s *SM) tick(now timing.PS) {
 // stepSlot runs the per-warp portion of a dense tick for one live warp.
 func (s *SM) stepSlot(w *warp, slot int, now timing.PS) {
 	if w.atBarrier || w.waitAck {
+		if w.waitAck && s.g.flt != nil && now > w.off.deadline {
+			s.handleTimeout(w, now)
+		}
 		return
 	}
 	if s.slotWake[slot] > now {
@@ -520,7 +538,17 @@ func (s *SM) computeIdle(now timing.PS) {
 		anyLive = true
 		if w.atBarrier || w.waitAck {
 			// Released by another warp's issue or by an ack delivery — both
-			// dirty the mirror; no self-wake.
+			// dirty the mirror; no self-wake. Under fault injection a waiting
+			// warp also self-wakes at its ack-timeout deadline.
+			if w.waitAck && s.g.flt != nil {
+				if now > w.off.deadline {
+					s.idleValid, s.idleWake = true, now // busy: timeout due
+					return
+				}
+				if w.off.deadline+1 < wake {
+					wake = w.off.deadline + 1
+				}
+			}
 			continue
 		}
 		if len(w.memq) > 0 {
@@ -1064,7 +1092,18 @@ func (s *SM) setupMem(w *warp, in isa.Instr, now timing.PS) bool {
 				homes = append(homes, s.g.mem.HMCOf(la.LineAddr))
 			}
 			s.homesScratch = homes
-			ctx.target = core.SelectTarget(homes, s.g.cfg.NumHMCs)
+			if s.g.flt != nil {
+				ctx.target = core.SelectTargetHealthy(homes, s.g.cfg.NumHMCs,
+					func(t int) bool { return s.g.targetHealthy(now, t) })
+				if ctx.target < 0 {
+					// Every stack is dead or quarantined: run the block on
+					// the host instead.
+					s.hostFallback(w, now)
+					return false
+				}
+			} else {
+				ctx.target = core.SelectTarget(homes, s.g.cfg.NumHMCs)
+			}
 			if !s.g.bufmgr.Reserve(ctx.target, ctx.block.numLD, ctx.block.numST) {
 				s.g.st.CreditStalls++
 				s.sawCreditBlock = true
@@ -1264,11 +1303,16 @@ func (s *SM) serveOffloadOp(w *warp, op *microOp, now timing.PS) bool {
 		if len(s.readyQ) >= s.g.cfg.NDP.ReadyEntries {
 			return false
 		}
-		wta := &core.WTAPacket{ID: ctx.id, Seq: op.seq, Target: ctx.target,
+		wta := &core.WTAPacket{ID: ctx.id, Tag: ctx.tag, Seq: op.seq, Target: ctx.target,
 			Access: op.access, TotalPkts: op.total}
 		s.pushReady(ctx.target, wta.Size(), wta)
 		s.g.st.WTAPackets++
-		s.g.wtaInflight[s.g.mem.HMCOf(op.access.LineAddr)]++
+		if s.g.flt == nil {
+			// The WTA in-flight ledger assumes exactly-once delivery;
+			// retransmits and aborted warps would unbalance it, so fault
+			// mode runs without it.
+			s.g.wtaInflight[s.g.mem.HMCOf(op.access.LineAddr)]++
+		}
 		return true
 	}
 	line := op.access.LineAddr
@@ -1280,14 +1324,14 @@ func (s *SM) serveOffloadOp(w *warp, op *microOp, now timing.PS) bool {
 		s.g.recordLine(ctx.block.id, true, bits.OnesCount32(op.access.Mask))
 		s.g.st.RDFPackets++
 		s.g.st.RDFCacheHits++
-		rdf := &core.RDFPacket{ID: ctx.id, Seq: op.seq, Target: ctx.target,
+		rdf := &core.RDFPacket{ID: ctx.id, Tag: ctx.tag, Seq: op.seq, Target: ctx.target,
 			Access: op.access, TotalPkts: op.total}
 		msg, size := s.g.shipCachedLine(rdf)
 		s.pushReady(ctx.target, size, msg)
 		return true
 	}
 	// L1 miss: probe the L2 slice; it forwards to DRAM on a miss there.
-	rdf := &core.RDFPacket{ID: ctx.id, Seq: op.seq, Target: ctx.target,
+	rdf := &core.RDFPacket{ID: ctx.id, Tag: ctx.tag, Seq: op.seq, Target: ctx.target,
 		Access: op.access, TotalPkts: op.total}
 	s.g.st.RDFPackets++
 	s.g.sliceFor(line).push(&l2Req{kind: reqRDF, line: line, rdf: rdf, blockID: ctx.block.id})
@@ -1327,14 +1371,15 @@ func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 			}
 			s.g.st.OffloadBlocksOffloaded++
 			ctx := &offCtx{block: blk, id: core.OffloadID{SM: int32(s.id), Warp: int32(w.slot)}, began: now}
-			w.off = ctx
-			cmd := &core.CmdPacket{ID: ctx.id, BlockID: blk.id, Mask: w.mask,
-				NumLD: blk.numLD, NumST: blk.numST}
-			for _, r := range blk.regsIn {
-				rv := core.RegVals{Reg: int16(r)}
-				rv.Vals = w.regs[r]
-				cmd.In.Regs = append(cmd.In.Regs, rv)
+			if s.g.flt != nil {
+				s.instSeq[w.slot]++
+				ctx.tag = core.ProtoTag{Inst: s.instSeq[w.slot]}
+				ctx.deadline = s.g.attemptDeadline(now, 0)
+				snap := w.regs
+				ctx.regSnap = &snap
 			}
+			w.off = ctx
+			cmd := s.buildCmd(ctx, w)
 			s.g.st.OffloadCmdPackets++
 			ctx.cmdBytes = cmd.Size() - core.HeaderBytes
 			s.pendingQ = append(s.pendingQ, outPkt{size: cmd.Size(), msg: cmd})
@@ -1353,12 +1398,21 @@ func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 			// Block contained no executed memory instruction (fully
 			// predicated off): pick stack 0, reserve, and flush so the NSU
 			// still runs the block and acknowledges.
-			if !s.g.bufmgr.Reserve(0, ctx.block.numLD, ctx.block.numST) {
+			tgt := 0
+			if s.g.flt != nil {
+				tgt = core.SelectTargetHealthy(nil, s.g.cfg.NumHMCs,
+					func(t int) bool { return s.g.targetHealthy(now, t) })
+				if tgt < 0 {
+					s.hostFallback(w, now)
+					return false
+				}
+			}
+			if !s.g.bufmgr.Reserve(tgt, ctx.block.numLD, ctx.block.numST) {
 				s.g.st.CreditStalls++
 				s.sawCreditBlock = true
 				return false
 			}
-			ctx.target = 0
+			ctx.target = tgt
 			ctx.targetKnown = true
 			s.flushPending(ctx)
 		}
@@ -1390,7 +1444,17 @@ func (s *SM) deliverAck(ack *core.AckPacket, now timing.PS) {
 	s.dirtyIdle()
 	w := s.warps[ack.ID.Warp]
 	if w == nil || w.off == nil {
+		if s.g.flt != nil {
+			// Late ack for a block that already completed (via an earlier
+			// duplicate) or fell back to host execution.
+			s.g.st.StaleProtoPkts++
+			return
+		}
 		panic("gpu: ack for unknown offload context")
+	}
+	if s.g.flt != nil && ack.Tag.Inst != w.off.tag.Inst {
+		s.g.st.StaleProtoPkts++ // ack from a superseded offload instance
+		return
 	}
 	if !w.waitAck {
 		w.off.ack = ack
@@ -1399,11 +1463,105 @@ func (s *SM) deliverAck(ack *core.AckPacket, now timing.PS) {
 	s.applyAck(w, ack, now)
 }
 
+// buildCmd assembles the offload command packet for the context's current
+// instance/attempt tag from the warp's (restored) live-in registers.
+func (s *SM) buildCmd(ctx *offCtx, w *warp) *core.CmdPacket {
+	blk := ctx.block
+	cmd := &core.CmdPacket{ID: ctx.id, Tag: ctx.tag, BlockID: blk.id, Mask: w.mask,
+		NumLD: blk.numLD, NumST: blk.numST, Target: ctx.target}
+	for _, r := range blk.regsIn {
+		rv := core.RegVals{Reg: int16(r)}
+		rv.Vals = w.regs[r]
+		cmd.In.Regs = append(cmd.In.Regs, rv)
+	}
+	return cmd
+}
+
+// handleTimeout fires when an offloaded block's ack deadline passes: retry
+// with exponential backoff while the retry budget and the target's health
+// hold, otherwise quarantine the stack and re-execute the block host-side.
+func (s *SM) handleTimeout(w *warp, now timing.PS) {
+	ctx := w.off
+	s.g.st.OffloadTimeouts++
+	if s.g.flt.InstanceCommitted(ctx.id, ctx.tag.Inst) {
+		// The block committed: its writes are durable and its ack is in
+		// flight on the reliable host link. Re-executing now would repeat
+		// non-idempotent stores, so just re-arm and wait for the ack.
+		ctx.deadline = s.g.attemptDeadline(now, int(ctx.tag.Attempt))
+		return
+	}
+	if int(ctx.tag.Attempt) >= s.g.maxRetries || !s.g.targetHealthy(now, ctx.target) {
+		// Abandon, quarantine, and fall back in one step: the NSU's next
+		// look at the board sees the instance as dead before any checker
+		// can observe the intermediate state.
+		s.g.flt.AbandonInstance(ctx.id, ctx.tag.Inst)
+		s.g.quarantineTarget(ctx.target)
+		s.g.fab.AbandonOffload(now, ctx.id)
+		s.hostFallback(w, now)
+		return
+	}
+	s.retryOffload(w, now)
+}
+
+// retryOffload restarts the block's GPU-side walk for a fresh attempt:
+// restore the live-in registers, reset the protocol sequence numbers, and
+// re-issue the command with a bumped attempt tag. The NSU-side buffers were
+// reserved once at the first attempt and stay reserved; the NSU reconciles
+// duplicate packets against the instance tag.
+func (s *SM) retryOffload(w *warp, now timing.PS) {
+	ctx := w.off
+	s.g.st.OffloadRetries++
+	ctx.tag.Attempt++
+	ctx.deadline = s.g.attemptDeadline(now, int(ctx.tag.Attempt))
+	w.regs = *ctx.regSnap
+	ctx.seqLD, ctx.seqST = 0, 0
+	ctx.ack = nil
+	w.waitAck = false
+	w.pc = ctx.block.begPC + 1
+	s.slotWake[w.slot] = 0
+	cmd := s.buildCmd(ctx, w)
+	s.g.st.OffloadCmdPackets++
+	s.pushReady(ctx.target, cmd.Size(), cmd)
+}
+
+// hostFallback abandons the offload and re-executes the block on the GPU in
+// normal mode (graceful degradation): restore the registers captured at
+// OFLD.BEG and rewind to the block body; with w.off nil every instruction —
+// including the @NSU-marked ones — executes host-side, so memory and
+// register state converge to the oracle's.
+func (s *SM) hostFallback(w *warp, now timing.PS) {
+	ctx := w.off
+	s.g.st.FallbackBlocks++
+	if !ctx.targetKnown {
+		// The command never left the SM: purge it from the pending buffer.
+		rest := s.pendingQ[:0]
+		for _, p := range s.pendingQ {
+			if cmd, ok := p.msg.(*core.CmdPacket); ok && cmd.ID == ctx.id && cmd.Tag.Inst == ctx.tag.Inst {
+				continue
+			}
+			rest = append(rest, p)
+		}
+		s.pendingQ = rest
+	}
+	w.regs = *ctx.regSnap
+	w.off = nil
+	w.waitAck = false
+	w.inRegion = true
+	w.regionID = ctx.block.id
+	w.pc = ctx.block.begPC + 1
+	s.slotWake[w.slot] = 0
+}
+
 // applyAck writes back the returned registers and releases the warp.
 func (s *SM) applyAck(w *warp, ack *core.AckPacket, now timing.PS) {
 	blk := w.off.block
 	s.g.st.AckLatencySumPS += int64(now - w.off.began)
 	s.g.st.AckLatencyCount++
+	if s.g.flt != nil {
+		// The instance is consumed; drop its commit-board record so the
+		// board stays bounded by the in-flight offload count.
+		s.g.flt.ForgetInstance(ack.ID)
+	}
 	for _, rv := range ack.Out.Regs {
 		m := rv.Mask
 		if m == 0 {

@@ -14,6 +14,7 @@ import (
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/dram"
+	"ndpgpu/internal/fault"
 	"ndpgpu/internal/gpu"
 	"ndpgpu/internal/noc"
 	"ndpgpu/internal/stats"
@@ -35,8 +36,10 @@ type HMC struct {
 	st  *stats.Stats
 	nsu NSUPort
 
-	vaults   []*dram.Vault
-	overflow []pendingReq // requests waiting for vault queue space
+	vaults      []*dram.Vault
+	overflow    []pendingReq // requests waiting for vault queue space
+	overflowCap int          // backpressure threshold for the overflow queue
+	flt         *fault.Injector
 
 	// pendingReads merges concurrent reads of the same line (the logic
 	// layer's MSHR-like read-combining): one DRAM access serves them all.
@@ -51,6 +54,7 @@ type pendingReq struct {
 // New builds a stack.
 func New(id int, cfg config.Config, mem *vm.System, fab *noc.Fabric, st *stats.Stats) *HMC {
 	h := &HMC{ID: id, cfg: cfg, mem: mem, fab: fab, st: st,
+		overflowCap:  cfg.HMC.EffOverflowCap(),
 		pendingReads: make(map[uint64][]func(at timing.PS))}
 	for v := 0; v < cfg.HMC.NumVaults; v++ {
 		h.vaults = append(h.vaults, dram.NewVault(cfg.HMC))
@@ -60,6 +64,9 @@ func New(id int, cfg config.Config, mem *vm.System, fab *noc.Fabric, st *stats.S
 
 // SetNSU attaches the stack's NSU.
 func (h *HMC) SetNSU(n NSUPort) { h.nsu = n }
+
+// SetFault attaches the fault injector (vault freezes).
+func (h *HMC) SetFault(inj *fault.Injector) { h.flt = inj }
 
 // EnableAudit attaches a DRAM bank-state auditor to every vault of this
 // stack.
@@ -79,12 +86,23 @@ func (h *HMC) EnableAudit(a *audit.Auditor) {
 // Tick advances the stack by one DRAM clock: serve vaults, then dispatch
 // arrived packets.
 func (h *HMC) Tick(now timing.PS) {
-	for _, v := range h.vaults {
+	for i, v := range h.vaults {
+		if h.flt != nil && h.flt.VaultFrozen(now, h.ID, i) {
+			continue // frozen vault: requests queue but nothing is served
+		}
 		v.Tick(now)
 	}
 	h.retryOverflow()
 	inbox := h.fab.HMCInbox(h.ID)
 	for {
+		if len(h.overflow) >= h.overflowCap {
+			// Backpressure: stop draining the network inbox until the
+			// overflow queue shrinks, instead of growing it without bound.
+			if at, ok := inbox.NextAt(); ok && at <= now {
+				h.st.HMCOverflowStall++
+			}
+			break
+		}
 		msg, ok := inbox.Pop(now)
 		if !ok {
 			break
@@ -106,6 +124,9 @@ func (h *HMC) retryOverflow() {
 func (h *HMC) enqueue(vault int, req *dram.Request) {
 	if !h.vaults[vault].Enqueue(req) {
 		h.overflow = append(h.overflow, pendingReq{vault: vault, req: req})
+		if n := int64(len(h.overflow)); n > h.st.HMCOverflowHWM {
+			h.st.HMCOverflowHWM = n
+		}
 	}
 }
 
@@ -184,7 +205,7 @@ func (h *HMC) dispatch(msg any, now timing.PS) {
 			Line: m.Access.LineAddr, Bank: loc.Bank, Row: loc.Row,
 			IsWrite: true, Arrival: now,
 			Done: func(at timing.PS) {
-				ackMsg := &core.WriteAck{ID: pkt.ID, Seq: pkt.Seq}
+				ackMsg := &core.WriteAck{ID: pkt.ID, Tag: pkt.Tag, Seq: pkt.Seq}
 				if pkt.Source == h.ID {
 					h.nsu.Deliver(ackMsg, at)
 				} else {

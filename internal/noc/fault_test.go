@@ -1,0 +1,150 @@
+package noc
+
+import (
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/fault"
+	"ndpgpu/internal/stats"
+)
+
+// faultyFabric builds a fabric with an injector parsed from spec attached.
+func faultyFabric(t *testing.T, cfg config.Config, spec string) (*Fabric, *stats.Stats) {
+	t.Helper()
+	st := stats.New()
+	f := NewFabric(cfg, st)
+	fc, err := fault.Parse(spec, cfg.NumHMCs, cfg.HMC.NumVaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetFault(fault.New(fc, cfg.NumHMCs, cfg.HMC.NumVaults, f.Dims(), f.Ring()))
+	return f, st
+}
+
+// TestDormantInjectorMatchesDimOrder pins the reroute no-op contract: with
+// an injector attached but every link alive, the fault-aware path must pick
+// exactly the deterministic fault-free route for every pair — identical
+// arrival times, zero rerouted hops — so a dormant schedule cannot shift
+// mesh contention.
+func TestDormantInjectorMatchesDimOrder(t *testing.T) {
+	cfg := config.Default()
+	for _, topo := range []string{"hypercube", "ring"} {
+		cfg.HMC.NetTopology = topo
+		plain := NewFabric(cfg, stats.New())
+		faulty, st := faultyFabric(t, cfg, "nsufail:t=900000000000:hmc=0")
+		for s := 0; s < cfg.NumHMCs; s++ {
+			for d := 0; d < cfg.NumHMCs; d++ {
+				a := plain.SendHMCToHMC(0, s, d, 128, "p")
+				b := faulty.SendHMCToHMC(0, s, d, 128, "p")
+				if a != b {
+					t.Fatalf("%s %d->%d: dormant injector shifted arrival %d -> %d", topo, s, d, a, b)
+				}
+			}
+		}
+		if st.ReroutedHops != 0 || st.DroppedPackets != 0 || st.RouteUnreachable != 0 {
+			t.Fatalf("%s: dormant injector perturbed routing: rerouted=%d dropped=%d unreachable=%d",
+				topo, st.ReroutedHops, st.DroppedPackets, st.RouteUnreachable)
+		}
+	}
+}
+
+// TestRerouteAroundDeadLink kills one hypercube link and checks the packet
+// still arrives, via a strictly longer detour, with the reroute counted.
+func TestRerouteAroundDeadLink(t *testing.T) {
+	cfg := config.Default()
+	healthy := NewFabric(cfg, stats.New())
+	direct := healthy.SendHMCToHMC(0, 0, 1, 128, "p")
+
+	f, st := faultyFabric(t, cfg, "linkdown:t=0:hmc=0:dim=0")
+	at := f.SendHMCToHMC(0, 0, 1, 128, "p")
+	if _, ok := f.HMCInbox(1).Pop(at); !ok {
+		t.Fatal("packet not delivered around the dead link")
+	}
+	if st.ReroutedHops == 0 {
+		t.Error("detour not counted in ReroutedHops")
+	}
+	if at <= direct {
+		t.Errorf("detour arrival %d not later than the 1-hop path %d", at, direct)
+	}
+	// 0-1 is dead; the shortest live path is 3 hops, e.g. 0-2-3-1.
+	if st.Traffic[stats.MemNet] != 3*128 {
+		t.Errorf("detour traffic = %d, want %d (3 hops)", st.Traffic[stats.MemNet], 3*128)
+	}
+}
+
+// TestRerouteOnRing kills a ring link: the only live path is the long way
+// around, every hop of which diverges from the shortest-direction route.
+func TestRerouteOnRing(t *testing.T) {
+	cfg := config.Default()
+	cfg.HMC.NetTopology = "ring"
+	f, st := faultyFabric(t, cfg, "linkdown:t=0:hmc=0:dim=0")
+	at := f.SendHMCToHMC(0, 0, 1, 128, "p")
+	if _, ok := f.HMCInbox(1).Pop(at); !ok {
+		t.Fatal("ring packet not delivered the long way around")
+	}
+	if n := int64(cfg.NumHMCs - 1); st.Traffic[stats.MemNet] != n*128 {
+		t.Errorf("ring detour traffic = %d, want %d hops", st.Traffic[stats.MemNet]/128, n)
+	}
+	if st.ReroutedHops == 0 {
+		t.Error("ring detour not counted")
+	}
+}
+
+// TestRouteUnreachable isolates a stack completely: the packet must be
+// reported unreachable and never delivered, not loop forever.
+func TestRouteUnreachable(t *testing.T) {
+	cfg := config.Default()
+	f, st := faultyFabric(t, cfg,
+		"linkdown:t=0:hmc=0:dim=0;linkdown:t=0:hmc=0:dim=1;linkdown:t=0:hmc=0:dim=2")
+	f.SendHMCToHMC(0, 0, 5, 128, "p")
+	if st.RouteUnreachable != 1 {
+		t.Fatalf("RouteUnreachable = %d, want 1", st.RouteUnreachable)
+	}
+	if f.HMCInbox(5).Len() != 0 {
+		t.Fatal("unreachable packet was delivered")
+	}
+}
+
+// TestLinkRecovery checks a windowed linkdown heals: after the window the
+// direct route is used again with no rerouted hops.
+func TestLinkRecovery(t *testing.T) {
+	cfg := config.Default()
+	f, st := faultyFabric(t, cfg, "linkdown:t=0:hmc=0:dim=0:dur=1000")
+	f.SendHMCToHMC(0, 0, 1, 128, "early") // detours, 3 hops
+	rerouted := st.ReroutedHops
+	if rerouted == 0 {
+		t.Fatal("no detour while the link was down")
+	}
+	at := f.SendHMCToHMC(2000, 0, 1, 128, "late")
+	if _, ok := f.HMCInbox(1).Pop(at); !ok {
+		t.Fatal("post-recovery packet not delivered")
+	}
+	if st.ReroutedHops != rerouted {
+		t.Error("healed link still rerouting")
+	}
+}
+
+// TestDropAndCorruptAccounting runs a heavily lossy mesh and checks the
+// loss draws land in the stats counters and lost packets are not delivered.
+func TestDropAndCorruptAccounting(t *testing.T) {
+	cfg := config.Default()
+	f, st := faultyFabric(t, cfg, "drop:p=0.5;corrupt:p=0.2;seed=3")
+	const n = 200
+	delivered := 0
+	for i := 0; i < n; i++ {
+		at := f.SendHMCToHMC(0, 0, 7, 64, i)
+		if _, ok := f.HMCInbox(7).Pop(at); ok {
+			delivered++
+		}
+	}
+	if st.DroppedPackets == 0 || st.CorruptedPackets == 0 {
+		t.Fatalf("lossy mesh: dropped=%d corrupted=%d", st.DroppedPackets, st.CorruptedPackets)
+	}
+	if got := int64(n-delivered) - st.DroppedPackets - st.CorruptedPackets; got != 0 {
+		t.Fatalf("loss accounting off by %d: %d sent, %d delivered, %d dropped, %d corrupted",
+			got, n, delivered, st.DroppedPackets, st.CorruptedPackets)
+	}
+	if delivered == 0 {
+		t.Fatal("every packet lost at p=0.5")
+	}
+}

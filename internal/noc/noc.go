@@ -11,9 +11,12 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ndpgpu/internal/audit"
 	"ndpgpu/internal/config"
+	"ndpgpu/internal/core"
+	"ndpgpu/internal/fault"
 	"ndpgpu/internal/stats"
 	"ndpgpu/internal/timing"
 )
@@ -149,6 +152,11 @@ type Fabric struct {
 	st     *stats.Stats
 	tracer Tracer
 	aud    *audit.Network
+
+	// Fault-injection state (nil / unused on the fault-free path).
+	flt       *fault.Injector
+	routeNext [][]int16 // [cur][dst] -> next hop over live links; -1 = unreachable
+	routeVer  int       // injector topology version routeNext was built for
 }
 
 // Tracer observes every packet entering the fabric; see package trace.
@@ -216,6 +224,206 @@ func (f *Fabric) SetAudit(n *audit.Network) {
 	}
 }
 
+// SetFault attaches the fault injector (nil detaches). With an injector
+// attached, inter-HMC sends take the fault-aware path: per-hop link-liveness
+// checks, adaptive rerouting, and probabilistic drop/corrupt draws. The
+// GPU<->HMC host links stay reliable — their flow control is outside the
+// paper's memory network.
+func (f *Fabric) SetFault(inj *fault.Injector) { f.flt = inj }
+
+// AbandonOffload tells the attached auditor (if any) that the GPU has given
+// up on an offload instance — any packets of that ID still in flight are
+// legally orphaned and must not be reported as lost at drain.
+func (f *Fabric) AbandonOffload(now timing.PS, id core.OffloadID) {
+	if f.aud != nil {
+		f.aud.Abandon(now, id)
+	}
+}
+
+// Dims returns the memory-network dimensionality the fabric was built with
+// (hypercube dimensions, or 2 for the ring's two directions).
+func (f *Fabric) Dims() int { return f.dims }
+
+// Ring reports whether the memory network is the ring topology.
+func (f *Fabric) Ring() bool { return f.ring }
+
+// DetourBound is the hard per-packet hop limit on the fault-aware path: a
+// packet still in flight when the topology changes may follow a stale route
+// for a hop, but can never loop unboundedly — past this bound it is dropped
+// as unreachable. It is also the hop bound the lossy audit enforces.
+func (f *Fabric) DetourBound() int { return 4 * f.numHMCs }
+
+// linkUp reports whether the physical link between neighbors u and w is
+// alive at now. Liveness is symmetric: the injector stores link state at the
+// canonical (lower) endpoint.
+func (f *Fabric) linkUp(now timing.PS, u, w int) bool {
+	if f.ring {
+		j := u
+		if w != (u+1)%f.numHMCs {
+			j = w
+		}
+		return !f.flt.LinkDead(now, j, 0)
+	}
+	d := bits.TrailingZeros32(uint32(u ^ w))
+	return !f.flt.LinkDead(now, u&^(1<<d), d)
+}
+
+// linkDim returns the mesh dimension index of the link from cur to its
+// neighbor next.
+func (f *Fabric) linkDim(cur, next int) int {
+	if f.ring {
+		if next == (cur+1)%f.numHMCs {
+			return 0
+		}
+		return 1
+	}
+	return bits.TrailingZeros32(uint32(cur ^ next))
+}
+
+// dimOrderNext returns the next hop the fault-free deterministic routing
+// would take (dimension-order for the hypercube, shortest direction for the
+// ring), ignoring link liveness. Used to count rerouted hops.
+func (f *Fabric) dimOrderNext(cur, dst int) int {
+	if f.ring {
+		cw := (dst - cur + f.numHMCs) % f.numHMCs
+		if cw <= f.numHMCs-cw {
+			return (cur + 1) % f.numHMCs
+		}
+		return (cur - 1 + f.numHMCs) % f.numHMCs
+	}
+	d := bits.TrailingZeros32(uint32(cur ^ dst))
+	return cur ^ (1 << d)
+}
+
+// liveRoutes returns the next-hop table over currently-live links, rebuilt
+// lazily whenever the injector's topology version changes. For each
+// destination a breadth-first search (neighbors visited in ascending
+// dimension order, so path choice is deterministic) yields the shortest
+// live path; unreachable pairs get -1. On a fully-live topology the table
+// reproduces shortest-path routing, and the escape behaviour around dead
+// links is livelock-free by construction: the table is loop-free at any
+// fixed topology version, and the DetourBound caps transient loops across
+// version changes.
+func (f *Fabric) liveRoutes(now timing.PS) [][]int16 {
+	v := f.flt.TopoVersion(now)
+	if f.routeNext != nil && f.routeVer == v {
+		return f.routeNext
+	}
+	n := f.numHMCs
+	if f.routeNext == nil {
+		f.routeNext = make([][]int16, n)
+		for i := range f.routeNext {
+			f.routeNext[i] = make([]int16, n)
+		}
+	}
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	var nbuf [16]int
+	neighbors := func(u int) []int {
+		b := nbuf[:0]
+		if f.ring {
+			b = append(b, (u+1)%n, (u-1+n)%n)
+		} else {
+			for d := 0; d < f.dims; d++ {
+				b = append(b, u^(1<<d))
+			}
+		}
+		return b
+	}
+	for dst := 0; dst < n; dst++ {
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			f.routeNext[i][dst] = -1
+		}
+		dist[dst] = 0
+		queue = append(queue[:0], dst)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range neighbors(u) {
+				if dist[w] >= 0 || !f.linkUp(now, u, w) {
+					continue
+				}
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+		// Next hop: the first live distance-reducing neighbor in dimension
+		// order. On a fully-live topology this IS the deterministic
+		// fault-free route (lowest differing dimension first / shortest ring
+		// direction), so a dormant injector leaves every packet's path — and
+		// therefore link contention and timing — bit-identical.
+		for u := 0; u < n; u++ {
+			if u == dst || dist[u] < 0 {
+				continue
+			}
+			for _, w := range neighbors(u) {
+				if dist[w] >= 0 && dist[w] == dist[u]-1 && f.linkUp(now, u, w) {
+					f.routeNext[u][dst] = int16(w)
+					break
+				}
+			}
+		}
+		f.routeNext[dst][dst] = int16(dst)
+	}
+	f.routeVer = v
+	return f.routeNext
+}
+
+// sendMeshFaulty is the fault-aware inter-HMC send: per-hop adaptive
+// routing over live links with a deterministic dimension-order preference,
+// plus the packet's drop/corrupt draw. A packet with no live route (or past
+// the detour bound) is dropped and reported to the lossy audit; the offload
+// protocol's retry path recovers the loss end-to-end.
+func (f *Fabric) sendMeshFaulty(now timing.PS, src, dst, size int, msg any) timing.PS {
+	drop, corrupt := f.flt.DrawDrop()
+	t := now
+	cur := src
+	hops := 0
+	bound := f.DetourBound()
+	for cur != dst && hops < bound {
+		next := int(f.liveRoutes(t)[cur][dst])
+		if next < 0 {
+			break
+		}
+		if f.st != nil && next != f.dimOrderNext(cur, dst) {
+			f.st.ReroutedHops++
+		}
+		t = f.mesh[cur][f.linkDim(cur, next)].Send(t, size)
+		f.addTraffic(stats.MemNet, int64(size))
+		cur = next
+		hops++
+		if drop {
+			break // lost in flight after its first traversed hop
+		}
+	}
+	switch {
+	case drop:
+		if f.st != nil {
+			f.st.DroppedPackets++
+		}
+	case corrupt && cur == dst:
+		// Consumed bandwidth all the way, discarded at the CRC check.
+		if f.st != nil {
+			f.st.CorruptedPackets++
+		}
+	case cur != dst:
+		if f.st != nil {
+			f.st.RouteUnreachable++
+		}
+	default:
+		if f.aud != nil {
+			f.aud.Inject(now, t, src, dst, hops, msg)
+		}
+		f.hmcInbox[dst].Put(t, msg)
+		return t
+	}
+	if f.aud != nil {
+		f.aud.Dropped(now, src, dst, msg)
+	}
+	return t
+}
+
 // Diameter returns the maximum hop count between any two stacks on the
 // memory network: the dimension count for the hypercube, half the ring for
 // the ring topology.
@@ -274,6 +482,9 @@ func (f *Fabric) SendHMCToHMC(now timing.PS, src, dst, size int, msg any) timing
 		}
 		f.hmcInbox[dst].Put(now, msg)
 		return now
+	}
+	if f.flt != nil {
+		return f.sendMeshFaulty(now, src, dst, size, msg)
 	}
 	t := now
 	cur := src

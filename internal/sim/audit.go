@@ -7,6 +7,7 @@ import (
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/energy"
 	"ndpgpu/internal/interp"
+	"ndpgpu/internal/stats"
 	"ndpgpu/internal/vm"
 	"ndpgpu/internal/workloads"
 )
@@ -34,6 +35,8 @@ type AuditResult struct {
 	FirstBad   string // first recorded violation, empty when clean
 	MemMatch   bool   // final memory bit-identical to the interp oracle
 	Err        error  // build/run/verify failure, nil on success
+
+	Stats *stats.Stats // full counters of the run, nil when Launch failed
 }
 
 // Ok reports whether the leg passed: the run completed, zero invariant
@@ -61,6 +64,7 @@ func RunAuditOne(cfg config.Config, abbr string, mode Mode, scale int) AuditResu
 		return r
 	}
 	aud := machine.EnableAudit()
+	r.Stats = machine.St
 	res, err := machine.Run(0)
 	if err != nil {
 		r.Err = err

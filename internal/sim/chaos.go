@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/fault"
+)
+
+// ChaosSchedule is one named fault schedule exercised by the chaos suite.
+type ChaosSchedule struct {
+	Name string
+	Spec string // the -faults DSL string (see fault.Parse)
+}
+
+// chaosKnobs tightens the resilience protocol for chaos runs: the default
+// 30k-cycle first timeout (~43 us) is tuned for production headroom, far
+// longer than the fault windows the pinned schedules open, so the suite
+// drops it to 2k cycles (~2.9 us) to force the retry and fallback paths to
+// actually fire — including the occasional spurious retry racing a healthy
+// completion, which the duplicate-suppression machinery must absorb.
+const chaosKnobs = "timeout=2000;retries=3"
+
+// PinnedSchedules returns the four canonical chaos scenarios: a permanently
+// severed mesh link, a permanently failed NSU, a frozen vault window, and a
+// 1% lossy mesh. Event times land early in every scaled workload's run.
+func PinnedSchedules() []ChaosSchedule {
+	return []ChaosSchedule{
+		{Name: "killed-link", Spec: "linkdown:t=1500000:hmc=2:dim=1;" + chaosKnobs},
+		{Name: "failed-nsu", Spec: "nsufail:t=2000000:hmc=3;" + chaosKnobs},
+		{Name: "frozen-vault", Spec: "vaultfreeze:t=1000000:hmc=1:vault=5:dur=6000000;" + chaosKnobs},
+		{Name: "lossy-mesh", Spec: "drop:p=0.01;seed=11;" + chaosKnobs},
+	}
+}
+
+// ChaosFaultConfig parses a schedule spec against the config's topology.
+func ChaosFaultConfig(cfg config.Config, spec string) (config.FaultConfig, error) {
+	return fault.Parse(spec, cfg.NumHMCs, cfg.HMC.NumVaults)
+}
+
+// RunChaosOne runs one workload under one mode with the fault schedule
+// active and the full audit harness of RunAuditOne: every invariant checker
+// enabled (in lossy mode, so legal drops, retransmits, and detours are
+// taught to — not hidden from — the conservation audit) and the final memory
+// image compared bit-for-bit against the fault-free interp oracle. A passing
+// leg therefore proves the resilience protocol masked every injected fault.
+func RunChaosOne(cfg config.Config, fc config.FaultConfig, abbr string, mode Mode, scale int) AuditResult {
+	cfg.Fault = fc
+	return RunAuditOne(cfg, abbr, mode, scale)
+}

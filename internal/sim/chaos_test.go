@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+// chaosFull reports whether the exhaustive matrix — every workload x mode
+// leg under every pinned schedule, plus per-workload random schedules —
+// should run. The default `go test` run keeps a representative subset so the
+// package stays inside the test timeout on small machines; `make chaos` sets
+// the variable and raises the timeout.
+func chaosFull() bool { return os.Getenv("NDPGPU_CHAOS_FULL") != "" }
+
+func chaosWorkloads(t *testing.T) []string {
+	if chaosFull() {
+		return workloads.Abbrs()
+	}
+	if testing.Short() {
+		return []string{"VADD"}
+	}
+	return []string{"VADD", "BFS", "FWT"}
+}
+
+// chaosAgg accumulates resilience counters across one schedule's legs.
+type chaosAgg struct {
+	mu        sync.Mutex
+	timeouts  int64
+	retries   int64
+	fallbacks int64
+	quarant   int64
+	rerouted  int64
+	dropped   int64
+}
+
+func (a *chaosAgg) add(r AuditResult) {
+	if r.Stats == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.timeouts += r.Stats.OffloadTimeouts
+	a.retries += r.Stats.OffloadRetries
+	a.fallbacks += r.Stats.FallbackBlocks
+	a.quarant += r.Stats.QuarantinedNSUs
+	a.rerouted += r.Stats.ReroutedHops + r.Stats.RouteUnreachable
+	a.dropped += r.Stats.DroppedPackets + r.Stats.CorruptedPackets
+}
+
+func checkChaosLeg(t *testing.T, r AuditResult) {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("chaos run failed: %v", r.Err)
+	}
+	if r.Violations != 0 {
+		t.Fatalf("%d invariant violation(s); first: %s", r.Violations, r.FirstBad)
+	}
+	if !r.MemMatch {
+		t.Fatalf("final memory differs from the fault-free interp oracle")
+	}
+}
+
+// TestChaosSuite is the chaos differential harness: workloads run to
+// completion under deterministic fault schedules with every invariant
+// checker enabled, and the final memory image must stay bit-identical to
+// the fault-free interp oracle — the injected faults must be fully masked
+// by retries, host fallback, and rerouting. Per pinned schedule the suite
+// also asserts that the faults actually perturbed the run (nonzero
+// resilience counters), so a silently inert injector cannot pass.
+func TestChaosSuite(t *testing.T) {
+	cfg := AuditConfig()
+	wls := chaosWorkloads(t)
+	for _, sched := range PinnedSchedules() {
+		sched := sched
+		t.Run(sched.Name, func(t *testing.T) {
+			fc, err := ChaosFaultConfig(cfg, sched.Spec)
+			if err != nil {
+				t.Fatalf("bad schedule %q: %v", sched.Spec, err)
+			}
+			agg := &chaosAgg{}
+			t.Run("legs", func(t *testing.T) {
+				for _, abbr := range wls {
+					for _, mode := range AuditModes {
+						abbr, mode := abbr, mode
+						t.Run(abbr+"/"+mode.Name, func(t *testing.T) {
+							t.Parallel()
+							r := RunChaosOne(cfg, fc, abbr, mode, 1)
+							checkChaosLeg(t, r)
+							agg.add(r)
+						})
+					}
+				}
+			})
+			if t.Failed() || testing.Short() {
+				return
+			}
+			// The schedule must have exercised its recovery path somewhere
+			// in the matrix; these sums are deterministic for a fixed leg set.
+			switch sched.Name {
+			case "killed-link":
+				if agg.rerouted == 0 {
+					t.Errorf("killed link produced no rerouted or unreachable packets")
+				}
+			case "failed-nsu":
+				if agg.timeouts == 0 || agg.fallbacks == 0 || agg.quarant == 0 {
+					t.Errorf("failed NSU produced timeouts=%d fallbacks=%d quarantined=%d; want all nonzero",
+						agg.timeouts, agg.fallbacks, agg.quarant)
+				}
+			case "frozen-vault":
+				if agg.timeouts == 0 || agg.retries == 0 {
+					t.Errorf("frozen vault produced timeouts=%d retries=%d; want both nonzero",
+						agg.timeouts, agg.retries)
+				}
+			case "lossy-mesh":
+				if agg.dropped == 0 {
+					t.Errorf("1%% lossy mesh dropped no packets")
+				}
+				if agg.timeouts+agg.retries+agg.fallbacks == 0 {
+					t.Errorf("lossy mesh triggered no protocol recovery")
+				}
+			}
+		})
+	}
+
+	// Random seeded schedules: one deterministic draw per workload.
+	if testing.Short() {
+		return
+	}
+	t.Run("random", func(t *testing.T) {
+		modes := AuditModes
+		if !chaosFull() {
+			modes = []Mode{NaiveNDP}
+		}
+		for i, abbr := range wls {
+			spec := fmt.Sprintf("rand:seed=%d;drop:p=0.002;seed=%d;%s", 101+i, 7+i, chaosKnobs)
+			fc, err := ChaosFaultConfig(cfg, spec)
+			if err != nil {
+				t.Fatalf("bad schedule %q: %v", spec, err)
+			}
+			for _, mode := range modes {
+				abbr, mode, fc := abbr, mode, fc
+				t.Run(abbr+"/"+mode.Name, func(t *testing.T) {
+					t.Parallel()
+					checkChaosLeg(t, RunChaosOne(cfg, fc, abbr, mode, 1))
+				})
+			}
+		}
+	})
+}
+
+// TestFaultNoOpEquivalence pins the zero-cost-when-disabled contract from
+// two directions. An empty schedule builds no injector at all, so two
+// fault-free runs must be bit-identical — same cycle count, same memory.
+// A dormant injector — a schedule whose only event fires long after the
+// run drains and whose timeout can never elapse — switches the offload
+// protocol into its transactional (buffered-commit) variant, which is
+// allowed to shift timing but must produce the same final memory and must
+// never fire a recovery path.
+func TestFaultNoOpEquivalence(t *testing.T) {
+	cfg := AuditConfig()
+	if cfg.Fault.Enabled() {
+		t.Fatalf("default config claims an active fault schedule")
+	}
+	base := runNoOpLeg(t, cfg)
+	again := runNoOpLeg(t, cfg)
+	if base.cycles != again.cycles {
+		t.Errorf("fault-free run is nondeterministic: %d vs %d cycles", base.cycles, again.cycles)
+	}
+	if !bytes.Equal(base.mem, again.mem) {
+		t.Errorf("fault-free run is nondeterministic: memory images differ")
+	}
+
+	dormant := cfg
+	var err error
+	dormant.Fault, err = ChaosFaultConfig(cfg, "nsufail:t=900000000000:hmc=0;timeout=1000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dormant.Fault.Enabled() {
+		t.Fatalf("dormant schedule should still build an injector")
+	}
+	faulty := runNoOpLeg(t, dormant)
+
+	if !bytes.Equal(base.mem, faulty.mem) {
+		t.Errorf("dormant injector changed the final memory image")
+	}
+	if faulty.fallbacks != 0 || faulty.retries != 0 {
+		t.Errorf("dormant injector fired recovery paths: retries=%d fallbacks=%d",
+			faulty.retries, faulty.fallbacks)
+	}
+}
+
+type noopRun struct {
+	cycles    int64
+	retries   int64
+	fallbacks int64
+	mem       []byte
+}
+
+func runNoOpLeg(t *testing.T, cfg config.Config) noopRun {
+	t.Helper()
+	mem := vm.New(cfg)
+	w, err := workloads.Build("VADD", mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Launch(cfg, w.Kernel, mem, NaiveNDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noopRun{
+		cycles:    res.Cycles,
+		retries:   res.Stats.OffloadRetries,
+		fallbacks: res.Stats.FallbackBlocks,
+		mem:       mem.Snapshot(),
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ndpgpu/internal/cache"
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
+	"ndpgpu/internal/fault"
 	"ndpgpu/internal/gpu"
 	"ndpgpu/internal/hmc"
 	"ndpgpu/internal/kernel"
@@ -62,6 +63,7 @@ type Machine struct {
 	nsuDomain *timing.Domain
 
 	aud *audit.Auditor // nil unless EnableAudit was called
+	flt *fault.Injector // nil unless the config carries a fault schedule
 
 	swaps     []*pageSwap
 	SwapsDone int
@@ -135,6 +137,23 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, dec core.Dec
 		m.nsus = append(m.nsus, n)
 	}
 
+	if cfg.Fault.Enabled() {
+		inj := fault.New(cfg.Fault, cfg.NumHMCs, cfg.HMC.NumVaults, fab.Dims(), fab.Ring())
+		m.flt = inj
+		fab.SetFault(inj)
+		timeout, retries := cfg.Fault.EffTimeoutCycles(), cfg.Fault.EffMaxRetries()
+		m.g.SetFault(inj, timeout, retries)
+		// An NSU-side warp only aborts well after the GPU's whole retry
+		// window has elapsed, so an abort implies the GPU has already
+		// fallen back and quarantined the stack.
+		smPeriod := timing.PeriodFromMHz(cfg.GPU.SMClockMHz)
+		abortPS := 2 * timing.PS(fault.TotalWindow(timeout, retries)) * smPeriod
+		for i := range m.hmcs {
+			m.hmcs[i].SetFault(inj)
+			m.nsus[i].SetFault(inj, abortPS)
+		}
+	}
+
 	m.engine = timing.NewEngine()
 	m.smDomain = m.engine.AddDomain("sm", timing.PeriodFromMHz(cfg.GPU.SMClockMHz))
 	m.smDomain.Attach(m.g)
@@ -149,6 +168,11 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, dec core.Dec
 		m.nsuDomain.Attach(n)
 	}
 	m.smDomain.Attach(swapTicker{m})
+	if m.flt != nil {
+		// Pins SM edges at schedule boundaries so fault windows take effect
+		// at exact cycles even under idle skipping.
+		m.smDomain.Attach(fault.Ticker{Inj: m.flt})
+	}
 	return m, nil
 }
 
@@ -186,7 +210,13 @@ func (m *Machine) EnableAudit() *audit.Auditor {
 	}
 	a := audit.New()
 	m.aud = a
-	m.fab.SetAudit(audit.NewNetwork(a, m.fab.Diameter()))
+	na := audit.NewNetwork(a, m.fab.Diameter())
+	if m.flt != nil {
+		// Under fault injection packets may legally drop, retransmit, or
+		// detour around dead links; the lossy audit accounts for those.
+		na.SetLossy(m.fab.DetourBound())
+	}
+	m.fab.SetAudit(na)
 	for _, h := range m.hmcs {
 		h.EnableAudit(a)
 	}
@@ -210,6 +240,9 @@ func (m *Machine) registerCreditCheck(a *audit.Auditor) {
 	kinds := [3]core.BufferKind{core.CmdBuffer, core.ReadDataBuffer, core.WriteAddrBuffer}
 	a.Register("credit-conservation", func(now timing.PS, final bool) {
 		for t := 0; t < bm.NumTargets(); t++ {
+			if bm.Quarantined(t) {
+				continue // written off: its credits are unaccountable
+			}
 			var occ [3]int
 			occ[0], occ[1], occ[2] = m.nsus[t].BufferOccupancy()
 			for i, k := range kinds {
@@ -359,6 +392,11 @@ func Launch(cfg config.Config, k *kernel.Kernel, mem *vm.System, mode Mode) (*Ma
 
 // done reports full-system quiescence.
 func (m *Machine) done() bool {
+	if m.flt != nil {
+		// Keep the injector's applied state current so Busy/Failed checks
+		// below see the schedule as of now.
+		m.flt.Apply(m.engine.Now())
+	}
 	if !m.g.Done() || !m.fab.Quiesced() {
 		return false
 	}

@@ -143,6 +143,20 @@ type Stats struct {
 	// controller and reported for debugging.
 	OffloadRegionInstrs int64
 
+	// Resilience counters (all zero on the fault-free path).
+	OffloadRetries   int64 // offload instances re-sent after a timeout
+	OffloadTimeouts  int64 // per-block timeouts that fired
+	FallbackBlocks   int64 // blocks re-executed host-side after retry exhaustion
+	QuarantinedNSUs  int64 // stacks written off by the offload controller
+	ReroutedHops     int64 // mesh hops taken off the dimension-order path
+	RouteUnreachable int64 // mesh packets dropped: no live path to destination
+	DroppedPackets   int64 // mesh packets lost to injected drops
+	CorruptedPackets int64 // mesh packets discarded at the CRC check
+	StaleProtoPkts   int64 // protocol packets discarded as stale (old inst/attempt)
+	NSUAbortedWarps  int64 // NSU warps abandoned past their abort deadline
+	HMCOverflowHWM   int64 // max retry-overflow queue depth across stacks
+	HMCOverflowStall int64 // inbox pops deferred because the overflow queue was full
+
 	// Offload-ratio trace: ratio chosen at each epoch boundary.
 	RatioTrace []float64
 
@@ -258,7 +272,21 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "ndp: seen=%d offloaded=%d cmd=%d rdf=%d (cache-hit %d) wta=%d ack=%d\n",
 		s.OffloadBlocksSeen, s.OffloadBlocksOffloaded, s.OffloadCmdPackets,
 		s.RDFPackets, s.RDFCacheHits, s.WTAPackets, s.AckPackets)
+	if s.FaultActivity() {
+		fmt.Fprintf(&b, "resilience: retries=%d timeouts=%d fallback=%d quarantined=%d rerouted=%d unreachable=%d dropped=%d corrupt=%d stale=%d nsu-aborts=%d overflow-hwm=%d\n",
+			s.OffloadRetries, s.OffloadTimeouts, s.FallbackBlocks, s.QuarantinedNSUs,
+			s.ReroutedHops, s.RouteUnreachable, s.DroppedPackets, s.CorruptedPackets,
+			s.StaleProtoPkts, s.NSUAbortedWarps, s.HMCOverflowHWM)
+	}
 	return b.String()
+}
+
+// FaultActivity reports whether any resilience counter is nonzero, i.e.
+// whether injected faults actually perturbed the run.
+func (s *Stats) FaultActivity() bool {
+	return s.OffloadRetries|s.OffloadTimeouts|s.FallbackBlocks|s.QuarantinedNSUs|
+		s.ReroutedHops|s.RouteUnreachable|s.DroppedPackets|s.CorruptedPackets|
+		s.StaleProtoPkts|s.NSUAbortedWarps|s.HMCOverflowStall != 0
 }
 
 // MergeICode folds per-NSU instruction-byte footprints into sorted order for
