@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet check audit chaos bench bench-engine clean
+.PHONY: build test test-short test-race vet check audit chaos bench bench-engine bench-scaling test-parallel clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,22 @@ bench:
 # Micro benchmark: engine edge dispatch, idle skipping on/off.
 bench-engine:
 	$(GO) test -run '^$$' -bench BenchmarkEngineIdleSkip -benchmem ./internal/timing
+
+# Parallel-executor scaling: the serial reference, then the sharded executor
+# at 1/2/4/8 worker threads. Results are bit-identical across all legs by
+# the determinism contract (see README "Parallel execution"); only wall time
+# moves. Recorded numbers: BENCH_pr4.json.
+bench-scaling:
+	$(GO) test -run '^$$' -bench 'BenchmarkSingleRunVADD$$' -benchtime 3x .
+	for n in 1 2 4 8; do \
+		GOMAXPROCS=$$n $(GO) test -run '^$$' -bench BenchmarkSingleRunVADDParallel -benchtime 3x . ; \
+	done
+
+# Determinism contract of the sharded executor: every workload x mode leg
+# bit-identical serial vs parallel, plus audited and chaos legs, under the
+# race detector.
+test-parallel:
+	$(GO) test -race -run 'TestParallelEquivalence' -timeout 45m ./internal/sim
 
 clean:
 	$(GO) clean ./...

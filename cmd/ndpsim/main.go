@@ -5,9 +5,13 @@
 //
 //	ndpsim -workload VADD -mode dyncache -scale 1 [-sms 64] [-nsumhz 350] [-verify]
 //	ndpsim -workload FWT -mode naive -faults 'nsufail:t=2000000:hmc=3;timeout=2000'
+//	ndpsim -workload BFS -mode dyncache -par 8
 //	ndpsim -audit
 //
 // Modes: baseline, morecore, naive, static=<p>, dyn, dyncache.
+//
+// -par N shards the simulation across N worker threads with bit-identical
+// results (see README "Parallel execution"); 0 (the default) runs serially.
 //
 // -audit runs the invariant audit suite instead of a single simulation:
 // every Table 1 workload under baseline, naive-NDP, and dynamic-NDP with
@@ -74,12 +78,16 @@ func main() {
 		audit    = flag.Bool("audit", false, "run the full invariant audit suite and exit")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		par      = flag.Int("par", 0, "parallel tick shards (0 = serial; >1 enables the deterministic sharded executor)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blkProf  = flag.String("blockprofile", "", "write a blocking profile to this file on exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	stopProf, err := prof.StartOpts(prof.Options{
+		CPU: *cpuProf, Mem: *memProf, Mutex: *mtxProf, Block: *blkProf})
 	if err != nil {
 		fatal(err)
 	}
@@ -98,6 +106,7 @@ func main() {
 	}
 
 	cfg := config.Default()
+	cfg.Parallel = *par
 	if *sms > 0 {
 		cfg.GPU.NumSMs = *sms
 	}

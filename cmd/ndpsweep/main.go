@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"ndpgpu/internal/config"
@@ -48,17 +49,22 @@ func main() {
 		audit   = flag.Bool("audit", false, "preflight the invariant audit suite before the sweep")
 		faults  = flag.String("faults", "", "fault schedule applied to every run (see README)")
 		csvDir  = flag.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations per experiment")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mtxProf = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blkProf = flag.String("blockprofile", "", "write a blocking profile to this file on exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	stopProf, err := prof.StartOpts(prof.Options{
+		CPU: *cpuProf, Mem: *memProf, Mutex: *mtxProf, Block: *blkProf})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ndpsweep:", err)
 		os.Exit(1)
 	}
 	defer stopProf()
+	experiments.Jobs = *jobs
 
 	cfg := config.Default()
 	if *faults != "" {
@@ -202,7 +208,13 @@ func main() {
 	if need("topology") {
 		check("topology", experiments.TopologyAblation(w, *scale))
 	}
-	fmt.Fprintf(w, "\n[%s in %.1fs]\n", *exp, time.Since(start).Seconds())
+	if runs, wall := experiments.RunTally(); runs > 0 {
+		fmt.Fprintf(w, "\n[%s in %.1fs: %d runs, %.1fs run-wall total, %.2fs/run avg, -j %d]\n",
+			*exp, time.Since(start).Seconds(), runs, wall.Seconds(),
+			wall.Seconds()/float64(runs), *jobs)
+	} else {
+		fmt.Fprintf(w, "\n[%s in %.1fs]\n", *exp, time.Since(start).Seconds())
+	}
 	if len(failures) > 0 {
 		fmt.Fprintf(w, "\nFAILURES (%d):\n", len(failures))
 		for _, f := range failures {

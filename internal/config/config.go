@@ -276,6 +276,12 @@ type Config struct {
 	NDP     NDPConfig
 	Mem     MemConfig
 	Fault   FaultConfig // zero value = fault-free (strict no-op)
+
+	// Parallel selects deterministic sharded execution of the tick engine:
+	// the number of worker goroutines ticking shards (SMs, memory stacks)
+	// concurrently. 0 or 1 runs the reference serial engine. Results are
+	// bit-identical either way (see internal/timing/parallel.go).
+	Parallel int
 }
 
 // Default returns the Table 2 configuration.
@@ -454,6 +460,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Fault.Validate(c.NumHMCs, c.HMC.NumVaults); err != nil {
 		return err
+	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("Parallel must be >= 0, got %d", c.Parallel)
+	}
+	if c.Parallel > 1 && c.HMC.RouterLatPS <= 0 {
+		// The sharded executor relies on every cross-stack packet arriving
+		// strictly after the tick it was sent on; a zero-latency mesh hop
+		// would let a same-instant arrival depend on commit order.
+		return errors.New("Parallel > 1 requires a positive RouterLatPS")
 	}
 	return nil
 }

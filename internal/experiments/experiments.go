@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/energy"
@@ -26,6 +27,25 @@ import (
 // Workloads returns the evaluation suite in Table 1 order.
 func Workloads() []string { return workloads.Abbrs() }
 
+// Jobs bounds how many simulations runAll executes concurrently; 0 (the
+// default) means GOMAXPROCS. Set once before running experiments (ndpsweep's
+// -j flag); runAll reads it without synchronization.
+var Jobs int
+
+// tally accumulates wall-clock cost across every RunOneWith call so sweeps
+// can report per-run cost alongside the total (atomics: runs execute on the
+// runAll worker pool).
+var tally struct {
+	runs   atomic.Int64
+	wallNS atomic.Int64
+}
+
+// RunTally reports how many simulations have completed in this process and
+// their summed wall-clock time.
+func RunTally() (runs int64, wall time.Duration) {
+	return tally.runs.Load(), time.Duration(tally.wallNS.Load())
+}
+
 // Run is one completed simulation.
 type Run struct {
 	Workload string
@@ -33,6 +53,7 @@ type Run struct {
 	Cfg      config.Config
 	Stats    *stats.Stats
 	TimePS   timing.PS
+	Wall     time.Duration // host wall-clock time for this run
 	Energy   stats.EnergyBreakdown
 	Err      error
 }
@@ -56,6 +77,12 @@ func RunOne(cfg config.Config, abbr string, mode sim.Mode, scale int) *Run {
 // callers that install tracers.
 func RunOneWith(cfg config.Config, abbr string, mode sim.Mode, scale int, prep func(*sim.Machine)) *Run {
 	run := &Run{Workload: abbr, Mode: mode.Name, Cfg: cfg}
+	start := time.Now()
+	defer func() {
+		run.Wall = time.Since(start)
+		tally.runs.Add(1)
+		tally.wallNS.Add(int64(run.Wall))
+	}()
 	mem := vm.New(cfg)
 	w, err := workloads.Build(abbr, mem, scale)
 	if err != nil {
@@ -98,7 +125,10 @@ type job struct {
 // the result set is deterministic regardless of scheduling order.
 func runAll(jobs []job, scale int) map[string]*Run {
 	runs := make([]*Run, len(jobs))
-	workers := runtime.GOMAXPROCS(0)
+	workers := Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}

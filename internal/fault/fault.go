@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
@@ -62,7 +63,10 @@ type edge struct {
 }
 
 // Injector holds the expanded fault schedule and the current fault state.
-// All methods are single-threaded, matching the simulation engine.
+// Schedule state (Apply and the queries that call it) is single-threaded:
+// under parallel execution the engine applies the schedule in a pre-step
+// hook, making the in-phase queries read-only. The commit/abandon boards
+// are mutex-guarded so GPU and NSU shards may post concurrently.
 type Injector struct {
 	cfg   config.FaultConfig
 	edges []edge
@@ -100,6 +104,14 @@ type Injector struct {
 	// per warp slot at most (instances are monotonic per slot), so the map
 	// stays bounded without pruning.
 	abandoned map[core.OffloadID]int32
+
+	// boardMu guards the two boards above under parallel execution: the GPU
+	// shards and the NSU shards touch them concurrently during a compute
+	// phase. Operations on distinct offload IDs commute (the protocol
+	// guarantees a given ID is only ever touched by its owning SM warp and
+	// its current target NSU, never two writers racing on one ID), so a
+	// plain mutex preserves determinism.
+	boardMu sync.Mutex
 
 	// Counters the injector itself owns (merged into stats at finalize).
 	Drops    int64
@@ -225,19 +237,25 @@ func (inj *Injector) TopoVersion(now timing.PS) int {
 // the NSU applied the block's buffered writes and sent the acknowledgment,
 // both in this same simulation step.
 func (inj *Injector) CommitInstance(id core.OffloadID, inst int32) {
+	inj.boardMu.Lock()
 	inj.committed[id] = inst
+	inj.boardMu.Unlock()
 }
 
 // InstanceCommitted reports whether instance inst of id has committed.
 func (inj *Injector) InstanceCommitted(id core.OffloadID, inst int32) bool {
+	inj.boardMu.Lock()
 	v, ok := inj.committed[id]
+	inj.boardMu.Unlock()
 	return ok && v == inst
 }
 
 // ForgetInstance drops id's commit record once the GPU has consumed the
 // acknowledgment, keeping the board bounded by the in-flight offload count.
 func (inj *Injector) ForgetInstance(id core.OffloadID) {
+	inj.boardMu.Lock()
 	delete(inj.committed, id)
+	inj.boardMu.Unlock()
 }
 
 // AbandonInstance posts the abandon record for offload instance inst of id:
@@ -245,12 +263,16 @@ func (inj *Injector) ForgetInstance(id core.OffloadID) {
 // atomically with the stack quarantine, so the instance's unreturned
 // credits are exempt from conservation by the time any checker runs.
 func (inj *Injector) AbandonInstance(id core.OffloadID, inst int32) {
+	inj.boardMu.Lock()
 	inj.abandoned[id] = inst
+	inj.boardMu.Unlock()
 }
 
 // InstanceAbandoned reports whether instance inst of id was abandoned.
 func (inj *Injector) InstanceAbandoned(id core.OffloadID, inst int32) bool {
+	inj.boardMu.Lock()
 	v, ok := inj.abandoned[id]
+	inj.boardMu.Unlock()
 	return ok && v == inst
 }
 

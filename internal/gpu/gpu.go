@@ -59,7 +59,17 @@ type GPU struct {
 	// a page being swapped while other stacks proceed.
 	wtaInflight []int64
 
-	smemArea map[[2]int]map[uint64]uint32
+	// Parallel execution (nil/false in serial mode): the persistent worker
+	// pool the SM compute phase runs on, the sequencer that releases
+	// order-sensitive operations (decider calls, credit reservations) in SM
+	// index order, and whether a compute phase is currently active (routes
+	// SM-side effects into shard-local buffers). ca/decPure cache what kind
+	// of decider is attached so the per-decision dispatch is a flag test.
+	pool    *timing.Pool
+	seq     *timing.Sequencer
+	smPhase bool
+	ca      *core.CacheAware
+	decPure bool
 
 	// Fault-injection state (nil/zero on the fault-free path).
 	flt           *fault.Injector
@@ -80,7 +90,6 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, fab *noc.Fab
 		bufmgr:      core.NewBufferManager(cfg),
 		smPeriod:    timing.PeriodFromMHz(cfg.GPU.SMClockMHz),
 		wtaInflight: make([]int64, cfg.NumHMCs),
-		smemArea:    make(map[[2]int]map[uint64]uint32),
 	}
 	if r, ok := dec.(accessRecorder); ok {
 		g.rec = r
@@ -204,29 +213,121 @@ func BlockInfos(prog *analyzer.Program) []core.BlockInfo {
 // sliceFor maps a line address to its L2 slice (one per memory partition).
 func (g *GPU) sliceFor(line uint64) *l2slice { return g.slices[g.mem.HMCOf(line)] }
 
-// smemFor returns the functional scratchpad storage of a resident CTA.
-func (g *GPU) smemFor(smID, ctaID int) map[uint64]uint32 {
-	key := [2]int{smID, ctaID}
-	m, ok := g.smemArea[key]
-	if !ok {
-		m = make(map[uint64]uint32)
-		g.smemArea[key] = m
+// SetParallel switches the SM array to sharded compute/commit execution on
+// pool: per-SM statistics bundles, fabric outboxes, WTA in-flight deltas, and
+// (for the cache-aware decider) profile shards replace the shared structures,
+// and everything folds back deterministically at tick barriers or run
+// finalization. Returns false — leaving the SM phase serial — when the NSU
+// read-only-cache mirror is enabled, whose shared directory the SMs mutate on
+// their hot path.
+func (g *GPU) SetParallel(pool *timing.Pool) bool {
+	if g.nsuDir != nil {
+		return false
 	}
-	return m
+	g.pool = pool
+	g.seq = timing.NewSequencer(len(g.sms))
+	switch g.dec.(type) {
+	case core.Never, core.Always:
+		g.decPure = true
+	}
+	if ca, ok := g.dec.(*core.CacheAware); ok {
+		g.ca = ca
+	}
+	for _, s := range g.sms {
+		s.st = stats.New()
+		s.outbox = noc.NewOutbox(g.fab, g.bufmgr)
+		s.sender = s.outbox
+		s.wtaDelta = make([]int64, g.cfg.NumHMCs)
+		if g.ca != nil {
+			s.prof = g.ca.NewShard()
+		}
+	}
+	return true
 }
 
-func (g *GPU) freeSmem(smID, ctaID int) { delete(g.smemArea, [2]int{smID, ctaID}) }
+// ShardStats returns the per-SM statistics bundles (parallel mode only), for
+// the finalize-time fold into the run's main bundle.
+func (g *GPU) ShardStats() []*stats.Stats {
+	if g.pool == nil {
+		return nil
+	}
+	out := make([]*stats.Stats, len(g.sms))
+	for i, s := range g.sms {
+		out[i] = s.st
+	}
+	return out
+}
 
 // Tick advances all SMs by one core clock and runs the epoch controller.
 func (g *GPU) Tick(now timing.PS) {
 	g.cycles++
+	if g.pool == nil {
+		for _, sm := range g.sms {
+			sm.tick(now)
+		}
+	} else {
+		g.tickParallel(now)
+	}
+	// Fold the per-SM offload-region instruction counts (fed by both the SM
+	// phase and crossbar-phase ack deliveries) before the epoch check reads
+	// the total; the check only ever observes the sum at tick granularity,
+	// so buffering per SM is invisible to it.
 	for _, sm := range g.sms {
-		sm.tick(now)
+		if sm.regionInstrs != 0 {
+			g.regionInstrs += sm.regionInstrs
+			sm.regionInstrs = 0
+		}
 	}
 	if g.cycles%g.cfg.NDP.EpochCycles == 0 {
 		g.dec.EpochTick(g.regionInstrs)
 		g.regionInstrs = 0
 		g.st.RatioTrace = append(g.st.RatioTrace, g.dec.Ratio())
+	}
+}
+
+// tickParallel runs one SM clock as a compute/commit pair. The serial
+// prologue performs each SM's CTA launch in index order — the shared grid
+// cursor advances exactly as the serial loop would, and each SM freezes its
+// post-launch cursor snapshot for idle certification. The compute phase then
+// ticks every SM concurrently (cross-shard effects defer into per-SM buffers;
+// rare order-sensitive operations run through the sequencer at their serial
+// position), and the commit phase replays the buffers in SM index order.
+func (g *GPU) tickParallel(now timing.PS) {
+	for _, s := range g.sms {
+		if s.idleValid && s.idleWake > now {
+			continue // the tick takes the idle fast path: no launch attempt
+		}
+		s.flushIdle()
+		s.idleValid = false
+		pre := g.nextCTA
+		s.refill()
+		s.launched = g.nextCTA != pre
+		s.ctaSnap = g.nextCTA
+		s.prelaunched = true
+	}
+	g.seq.Begin(len(g.sms))
+	g.smPhase = true
+	g.pool.Run(len(g.sms), func(i int) {
+		g.sms[i].tick(now)
+		g.seq.Finish(i)
+	})
+	g.smPhase = false
+	for _, s := range g.sms {
+		s.commit()
+	}
+	if g.ca != nil {
+		// Any profile records not already folded by a sequenced decision.
+		for _, s := range g.sms {
+			g.ca.FoldShard(s.prof)
+		}
+	}
+	for _, s := range g.sms {
+		for h, d := range s.wtaDelta {
+			if d != 0 {
+				g.wtaInflight[h] += d
+				s.wtaDelta[h] = 0
+			}
+		}
 	}
 }
 

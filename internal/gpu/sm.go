@@ -9,6 +9,7 @@ import (
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/isa"
 	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/noc"
 	"ndpgpu/internal/stats"
 	"ndpgpu/internal/timing"
 )
@@ -185,6 +186,48 @@ type SM struct {
 	// reuse of the slot), feeding the duplicate-suppression tags of the
 	// resilient offload protocol. Only advanced under fault injection.
 	instSeq []int32
+
+	// Parallel-execution state (see GPU.SetParallel). In serial mode st
+	// aliases the GPU's stats bundle and sender is the fabric itself, so
+	// every write lands exactly where it always did; SetParallel swaps in a
+	// shard-private bundle and a deferring outbox.
+	st     *stats.Stats
+	sender noc.Sender
+	outbox *noc.Outbox
+	prof   *core.ProfileShard
+
+	// wtaDelta buffers SM-phase WTA in-flight increments per target HMC,
+	// folded into the shared ledger at the tick barrier (decrements only
+	// happen on the serial crossbar phase).
+	wtaDelta []int64
+
+	// pushLog defers L2-slice pushes generated during a parallel SM compute
+	// phase; the commit replays them in SM index order, reproducing the
+	// serial slice-queue contents.
+	pushLog []*l2Req
+
+	// regionInstrs accumulates offload-region instructions (SM phase and
+	// crossbar-phase ack deliveries); GPU.Tick folds it into the epoch
+	// counter before every epoch check, in both modes.
+	regionInstrs int64
+
+	// Prologue-to-tick handoff in parallel mode: the CTA launch (which
+	// consumes the shared grid cursor) runs in the serial prologue and the
+	// compute tick reads the outcome here. ctaSnap freezes the cursor right
+	// after this SM's own launch, so stall classification and idle
+	// certification observe exactly the value the serial interleaving would
+	// have shown them.
+	launched    bool
+	prelaunched bool
+	ctaSnap     int
+
+	// maxCTAs memoizes maxResidentCTAs — every input is a kernel constant.
+	maxCTAs      int
+	maxCTAsValid bool
+
+	// smem backs the functional scratchpad of resident CTAs, keyed by CTA
+	// id (per-SM so concurrent shards never share a map).
+	smem map[int]map[uint64]uint32
 }
 
 // outPkt is a packet waiting in the SM's NDP packet buffers.
@@ -204,6 +247,8 @@ func newSM(g *GPU, id int) *SM {
 	return &SM{
 		id:        id,
 		g:         g,
+		st:        g.st,
+		sender:    g.fab,
 		l1:        cache.New(g.cfg.GPU.L1D),
 		l1i:       cache.New(g.cfg.GPU.L1I),
 		tlb:       cache.New(tlbGeom),
@@ -214,6 +259,7 @@ func newSM(g *GPU, id int) *SM {
 		slotProbe: make([]bool, g.cfg.WarpsPerSM()),
 		slotLine:  make([]uint64, g.cfg.WarpsPerSM()),
 		instSeq:   make([]int32, g.cfg.WarpsPerSM()),
+		smem:      make(map[int]map[uint64]uint32),
 	}
 }
 
@@ -243,13 +289,136 @@ func (s *SM) maxResidentCTAs() int {
 	return limit
 }
 
+// maxCTAsCached memoizes maxResidentCTAs: every input is a kernel constant,
+// and both refill and idle certification consult it every dense cycle.
+func (s *SM) maxCTAsCached() int {
+	if !s.maxCTAsValid {
+		s.maxCTAs = s.maxResidentCTAs()
+		s.maxCTAsValid = true
+	}
+	return s.maxCTAs
+}
+
+// seqDo runs f at this SM's serial position when a parallel compute phase is
+// active — shard k's sequenced operations run only after every lower shard's
+// whole tick, which is exactly where serial execution would have placed them
+// — and inline otherwise.
+func (s *SM) seqDo(f func()) {
+	if s.g.smPhase {
+		s.g.seq.Do(s.id, f)
+	} else {
+		f()
+	}
+}
+
+// decide consults the offload decider. Stateful deciders (seeded PRNG draws,
+// cache-locality profile reads) must observe exactly the serial call
+// sequence, so during a parallel compute phase the call runs through the
+// sequencer; pure deciders (Never/Always) skip it. For the cache-aware
+// decider the profile shards of every SM up to and including this one are
+// folded first — lower shards have finished their whole tick, so the decision
+// reads exactly the profile state serial execution would have accumulated.
+func (s *SM) decide(blockID int) bool {
+	g := s.g
+	if !g.smPhase || g.decPure {
+		return g.dec.Decide(blockID)
+	}
+	var res bool
+	g.seq.Do(s.id, func() {
+		if g.ca != nil {
+			for i := 0; i <= s.id; i++ {
+				g.ca.FoldShard(g.sms[i].prof)
+			}
+		}
+		res = g.dec.Decide(blockID)
+	})
+	return res
+}
+
+// recordLine feeds a cache-profile line record to the decider: buffered in
+// the SM's profile shard during a parallel compute phase, direct otherwise
+// (the crossbar phase and serial mode both run on the coordinator).
+func (s *SM) recordLine(blockID int, hit bool, words int) {
+	if s.g.smPhase && s.prof != nil {
+		s.prof.RecordLine(blockID, hit, words)
+		return
+	}
+	s.g.recordLine(blockID, hit, words)
+}
+
+func (s *SM) recordInstance(blockID int) {
+	if s.g.smPhase && s.prof != nil {
+		s.prof.RecordInstance(blockID)
+		return
+	}
+	if s.g.rec != nil {
+		s.g.rec.RecordInstance(blockID)
+	}
+}
+
+func (s *SM) recordTransfer(blockID, bytes int) {
+	if s.g.smPhase && s.prof != nil {
+		s.prof.RecordTransfer(blockID, bytes)
+		return
+	}
+	if s.g.rec != nil {
+		s.g.rec.RecordTransfer(blockID, bytes)
+	}
+}
+
+// pushL2 routes an L2-slice request: deferred to the commit log during a
+// parallel compute phase so the shared slices observe requests in SM index
+// order, direct otherwise.
+func (s *SM) pushL2(r *l2Req) {
+	if s.g.smPhase {
+		s.pushLog = append(s.pushLog, r)
+		return
+	}
+	s.g.sliceFor(r.line).push(r)
+}
+
+// addWTA accounts an in-flight WTA packet: buffered per SM during a parallel
+// compute phase (folded at the tick barrier), direct otherwise.
+func (s *SM) addWTA(home int) {
+	if s.wtaDelta != nil {
+		s.wtaDelta[home]++
+		return
+	}
+	s.g.wtaInflight[home]++
+}
+
+// commit replays this SM's deferred cross-shard effects at the tick barrier:
+// first the outbox (the fabric packet drainReady sent this tick — serial
+// ticks send before they push), then the L2-slice pushes, each in the order
+// the compute phase generated them.
+func (s *SM) commit() {
+	if s.outbox.Pending() > 0 {
+		s.outbox.Flush()
+	}
+	for i, r := range s.pushLog {
+		s.g.sliceFor(r.line).push(r)
+		s.pushLog[i] = nil
+	}
+	s.pushLog = s.pushLog[:0]
+}
+
+// smemFor returns the functional scratchpad storage of a resident CTA.
+func (s *SM) smemFor(ctaID int) map[uint64]uint32 {
+	m, ok := s.smem[ctaID]
+	if !ok {
+		m = make(map[uint64]uint32)
+		s.smem[ctaID] = m
+	}
+	return m
+}
+
 // refill launches new CTAs into free slots, at most one per cycle (the
 // hardware work distributor's launch rate), which also spreads the grid
 // across all SMs instead of front-loading the first ones.
 func (s *SM) refill() {
 	k := s.g.prog.Kernel
 	warpsPerCTA := (k.BlockDim + s.g.cfg.GPU.WarpWidth - 1) / s.g.cfg.GPU.WarpWidth
-	limit := s.maxResidentCTAs()
+	limit := s.maxCTAsCached()
 	if len(s.ctas) < limit && s.g.nextCTA < k.GridDim {
 		// Find contiguous-enough free slots.
 		free := s.freeScratch[:0]
@@ -316,9 +485,18 @@ func (s *SM) tick(now timing.PS) {
 	}
 	s.flushIdle()
 	s.idleValid = false
-	preCTA := s.g.nextCTA
-	s.refill()
-	launched := s.g.nextCTA != preCTA
+	var launched bool
+	if s.prelaunched {
+		// Parallel mode: the serial prologue already ran this SM's launch
+		// and snapshotted the grid cursor.
+		s.prelaunched = false
+		launched = s.launched
+	} else {
+		preCTA := s.g.nextCTA
+		s.refill()
+		launched = s.g.nextCTA != preCTA
+		s.ctaSnap = s.g.nextCTA
+	}
 	s.aluUsed, s.lsuUsed, s.issued = 0, 0, 0
 	s.sawExecBlock, s.sawDepBlock, s.sawCreditBlock = false, false, false
 
@@ -374,22 +552,22 @@ func (s *SM) tick(now timing.PS) {
 	}
 
 	if s.issued > 0 {
-		s.g.st.IssueCycles++
+		s.st.IssueCycles++
 		return
 	}
 	switch {
 	case !anyLive:
-		if s.g.nextCTA < s.g.prog.Kernel.GridDim {
-			s.g.st.AddNoIssue(stats.WarpIdle)
+		if s.ctaSnap < s.g.prog.Kernel.GridDim {
+			s.st.AddNoIssue(stats.WarpIdle)
 		}
 	case s.sawExecBlock:
-		s.g.st.AddNoIssue(stats.ExecUnitBusy)
+		s.st.AddNoIssue(stats.ExecUnitBusy)
 	case s.sawDepBlock:
-		s.g.st.AddNoIssue(stats.DependencyStall)
+		s.st.AddNoIssue(stats.DependencyStall)
 	default:
 		// Warps blocked on offload acknowledgments or NSU buffer credits
 		// have no issuable instruction: the paper's "warp idle" class.
-		s.g.st.AddNoIssue(stats.WarpIdle)
+		s.st.AddNoIssue(stats.WarpIdle)
 	}
 	if !launched && !sent && s.lsuUsed == 0 {
 		// The tick issued nothing, launched nothing, sent nothing, and served
@@ -483,8 +661,10 @@ func (s *SM) nextWorkAt(now timing.PS) timing.PS {
 func (s *SM) computeIdle(now timing.PS) {
 	g := s.g
 	k := g.prog.Kernel
-	// refill would launch a CTA this cycle.
-	if g.nextCTA < k.GridDim && len(s.ctas) < s.maxResidentCTAs() {
+	// refill would launch a CTA this cycle. The cursor snapshot (ctaSnap)
+	// rather than the live cursor keeps the verdict identical under parallel
+	// execution, where later SMs' launches land before this runs.
+	if s.ctaSnap < k.GridDim && len(s.ctas) < s.maxCTAsCached() {
 		warpsPerCTA := (k.BlockDim + g.cfg.GPU.WarpWidth - 1) / g.cfg.GPU.WarpWidth
 		free := 0
 		for _, w := range s.warps {
@@ -645,7 +825,7 @@ func (s *SM) computeIdle(now timing.PS) {
 	case !anyLive:
 		// All warps exited. The refill check above did not fire, so either
 		// the grid is exhausted (no stat densely) or no CTA fits.
-		if g.nextCTA < k.GridDim {
+		if s.ctaSnap < k.GridDim {
 			kind = int8(stats.WarpIdle)
 		}
 	case anyDep:
@@ -666,7 +846,7 @@ func (s *SM) computeIdle(now timing.PS) {
 // the last cycle is replayed for real, in that cycle's scheduling order.
 func (s *SM) skipIdle(k int64) {
 	if s.idleKind >= 0 {
-		s.g.st.AddNoIssueN(stats.StallKind(s.idleKind), k)
+		s.st.AddNoIssueN(stats.StallKind(s.idleKind), k)
 	}
 	m := s.idleLkN
 	if m > 0 && k > 1 {
@@ -756,7 +936,7 @@ func (s *SM) drainReady(now timing.PS) {
 	}
 	p := s.readyQ[0]
 	s.readyQ = s.readyQ[1:]
-	s.g.fab.SendGPUToHMC(now, p.target, p.size, p.msg)
+	s.sender.SendGPUToHMC(now, p.target, p.size, p.msg)
 }
 
 // effMask evaluates the instruction's predicate over the warp's active mask.
@@ -812,7 +992,7 @@ func (s *SM) tryIssue(w *warp, now timing.PS) {
 	if w.off != nil && in.AtNSU {
 		w.pc++
 		s.issued++ // the NOP replacing it still consumes the issue slot
-		s.g.st.IssuedInstrs++
+		s.st.IssuedInstrs++
 		return
 	}
 
@@ -900,8 +1080,8 @@ func (s *SM) tryIssue(w *warp, now timing.PS) {
 		}
 	}
 	s.issued++
-	s.g.st.IssuedInstrs++
-	s.g.st.IssuedThreadOps += int64(bits.OnesCount32(w.effMask(in)))
+	s.st.IssuedInstrs++
+	s.st.IssuedThreadOps += int64(bits.OnesCount32(w.effMask(in)))
 }
 
 func (s *SM) execALU(w *warp, in isa.Instr, now timing.PS) {
@@ -947,7 +1127,7 @@ func (s *SM) execConst(w *warp, in isa.Instr, now timing.PS) {
 // we back it with a per-CTA map on the GPU for simplicity.
 func (s *SM) execSmem(w *warp, in isa.Instr, now timing.PS) {
 	m := w.effMask(in)
-	sm := s.g.smemFor(s.id, w.cta.id)
+	sm := s.smemFor(w.cta.id)
 	for t := 0; t < core.WarpWidth; t++ {
 		if m&(1<<uint(t)) == 0 {
 			continue
@@ -1028,7 +1208,7 @@ func (s *SM) retireCTA(cta *ctaState) {
 			break
 		}
 	}
-	s.g.freeSmem(s.id, cta.id)
+	delete(s.smem, cta.id)
 }
 
 // coalesce groups the per-thread addresses of a memory instruction into
@@ -1085,32 +1265,42 @@ func (s *SM) setupMem(w *warp, in isa.Instr, now timing.PS) bool {
 	if offload {
 		ctx := w.off
 		// First memory instruction: pick the target NSU and reserve the
-		// NDP buffers (§4.1.1, §4.3).
+		// NDP buffers (§4.1.1, §4.3). Health checks (which may quarantine a
+		// stack) and the all-or-nothing credit reservation read and mutate
+		// shared state, so the block runs at this SM's serial position.
 		if !ctx.targetKnown {
-			homes := s.homesScratch[:0]
-			for _, la := range lines {
-				homes = append(homes, s.g.mem.HMCOf(la.LineAddr))
-			}
-			s.homesScratch = homes
-			if s.g.flt != nil {
-				ctx.target = core.SelectTargetHealthy(homes, s.g.cfg.NumHMCs,
-					func(t int) bool { return s.g.targetHealthy(now, t) })
-				if ctx.target < 0 {
-					// Every stack is dead or quarantined: run the block on
-					// the host instead.
-					s.hostFallback(w, now)
-					return false
+			ok := true
+			s.seqDo(func() {
+				homes := s.homesScratch[:0]
+				for _, la := range lines {
+					homes = append(homes, s.g.mem.HMCOf(la.LineAddr))
 				}
-			} else {
-				ctx.target = core.SelectTarget(homes, s.g.cfg.NumHMCs)
-			}
-			if !s.g.bufmgr.Reserve(ctx.target, ctx.block.numLD, ctx.block.numST) {
-				s.g.st.CreditStalls++
-				s.sawCreditBlock = true
+				s.homesScratch = homes
+				if s.g.flt != nil {
+					ctx.target = core.SelectTargetHealthy(homes, s.g.cfg.NumHMCs,
+						func(t int) bool { return s.g.targetHealthy(now, t) })
+					if ctx.target < 0 {
+						// Every stack is dead or quarantined: run the block
+						// on the host instead.
+						s.hostFallback(w, now)
+						ok = false
+						return
+					}
+				} else {
+					ctx.target = core.SelectTarget(homes, s.g.cfg.NumHMCs)
+				}
+				if !s.g.bufmgr.Reserve(ctx.target, ctx.block.numLD, ctx.block.numST) {
+					s.st.CreditStalls++
+					s.sawCreditBlock = true
+					ok = false
+					return
+				}
+				ctx.targetKnown = true
+				s.flushPending(ctx)
+			})
+			if !ok {
 				return false
 			}
-			ctx.targetKnown = true
-			s.flushPending(ctx)
 		}
 		if in.Op == isa.LD {
 			seq = ctx.seqLD
@@ -1230,19 +1420,19 @@ func (s *SM) serveBaselineLoad(w *warp, op *microOp, now timing.PS) bool {
 		s.l1.Lookup(line)
 		s.waiters[line] = append(s.waiters[line], loadWaiter{w: w, dst: op.dst})
 		if primary {
-			s.g.sliceFor(line).push(&l2Req{kind: reqRead, line: line, blockID: profile,
+			s.pushL2(&l2Req{kind: reqRead, line: line, blockID: profile,
 				words: bits.OnesCount32(op.access.Mask),
 				onFill: func(at timing.PS) {
 					s.fillL1(line, at)
 				}})
 		} else if profile >= 0 {
 			// Merged into an in-flight fill: an RDF would also have missed.
-			s.g.recordLine(profile, false, bits.OnesCount32(op.access.Mask))
+			s.recordLine(profile, false, bits.OnesCount32(op.access.Mask))
 		}
 	} else {
 		s.l1.Lookup(line)
 		if profile >= 0 {
-			s.g.recordLine(profile, true, bits.OnesCount32(op.access.Mask))
+			s.recordLine(profile, true, bits.OnesCount32(op.access.Mask))
 		}
 	}
 	// Functional read happens now; timing is tracked separately.
@@ -1290,7 +1480,7 @@ func (s *SM) serveBaselineStore(w *warp, op *microOp, now timing.PS) bool {
 		}
 	}
 	wr := &core.WriteReq{Access: op.access, Data: op.data}
-	s.g.sliceFor(line).push(&l2Req{kind: reqWrite, line: line, write: wr})
+	s.pushL2(&l2Req{kind: reqWrite, line: line, write: wr})
 	return true
 }
 
@@ -1306,12 +1496,12 @@ func (s *SM) serveOffloadOp(w *warp, op *microOp, now timing.PS) bool {
 		wta := &core.WTAPacket{ID: ctx.id, Tag: ctx.tag, Seq: op.seq, Target: ctx.target,
 			Access: op.access, TotalPkts: op.total}
 		s.pushReady(ctx.target, wta.Size(), wta)
-		s.g.st.WTAPackets++
+		s.st.WTAPackets++
 		if s.g.flt == nil {
 			// The WTA in-flight ledger assumes exactly-once delivery;
 			// retransmits and aborted warps would unbalance it, so fault
 			// mode runs without it.
-			s.g.wtaInflight[s.g.mem.HMCOf(op.access.LineAddr)]++
+			s.addWTA(s.g.mem.HMCOf(op.access.LineAddr))
 		}
 		return true
 	}
@@ -1321,9 +1511,9 @@ func (s *SM) serveOffloadOp(w *warp, op *microOp, now timing.PS) bool {
 		if len(s.readyQ) >= s.g.cfg.NDP.ReadyEntries {
 			return false
 		}
-		s.g.recordLine(ctx.block.id, true, bits.OnesCount32(op.access.Mask))
-		s.g.st.RDFPackets++
-		s.g.st.RDFCacheHits++
+		s.recordLine(ctx.block.id, true, bits.OnesCount32(op.access.Mask))
+		s.st.RDFPackets++
+		s.st.RDFCacheHits++
 		rdf := &core.RDFPacket{ID: ctx.id, Tag: ctx.tag, Seq: op.seq, Target: ctx.target,
 			Access: op.access, TotalPkts: op.total}
 		msg, size := s.g.shipCachedLine(rdf)
@@ -1333,8 +1523,8 @@ func (s *SM) serveOffloadOp(w *warp, op *microOp, now timing.PS) bool {
 	// L1 miss: probe the L2 slice; it forwards to DRAM on a miss there.
 	rdf := &core.RDFPacket{ID: ctx.id, Tag: ctx.tag, Seq: op.seq, Target: ctx.target,
 		Access: op.access, TotalPkts: op.total}
-	s.g.st.RDFPackets++
-	s.g.sliceFor(line).push(&l2Req{kind: reqRDF, line: line, rdf: rdf, blockID: ctx.block.id})
+	s.st.RDFPackets++
+	s.pushL2(&l2Req{kind: reqRDF, line: line, rdf: rdf, blockID: ctx.block.id})
 	return true
 }
 
@@ -1362,14 +1552,14 @@ func (s *SM) flushPending(ctx *offCtx) {
 func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 	blk := s.g.blocks[in.BlockID]
 	if in.Op == isa.OFLDBEG {
-		s.g.st.OffloadBlocksSeen++
-		if s.g.dec.Decide(blk.id) {
+		s.st.OffloadBlocksSeen++
+		if s.decide(blk.id) {
 			if len(s.pendingQ) >= s.g.cfg.NDP.PendingEntries {
-				s.g.st.PendingBufStalls++
+				s.st.PendingBufStalls++
 				s.sawExecBlock = true
 				return false
 			}
-			s.g.st.OffloadBlocksOffloaded++
+			s.st.OffloadBlocksOffloaded++
 			ctx := &offCtx{block: blk, id: core.OffloadID{SM: int32(s.id), Warp: int32(w.slot)}, began: now}
 			if s.g.flt != nil {
 				s.instSeq[w.slot]++
@@ -1380,7 +1570,7 @@ func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 			}
 			w.off = ctx
 			cmd := s.buildCmd(ctx, w)
-			s.g.st.OffloadCmdPackets++
+			s.st.OffloadCmdPackets++
 			ctx.cmdBytes = cmd.Size() - core.HeaderBytes
 			s.pendingQ = append(s.pendingQ, outPkt{size: cmd.Size(), msg: cmd})
 		} else {
@@ -1397,24 +1587,34 @@ func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 		if !ctx.targetKnown {
 			// Block contained no executed memory instruction (fully
 			// predicated off): pick stack 0, reserve, and flush so the NSU
-			// still runs the block and acknowledges.
-			tgt := 0
-			if s.g.flt != nil {
-				tgt = core.SelectTargetHealthy(nil, s.g.cfg.NumHMCs,
-					func(t int) bool { return s.g.targetHealthy(now, t) })
-				if tgt < 0 {
-					s.hostFallback(w, now)
-					return false
+			// still runs the block and acknowledges. Health checks and the
+			// credit reservation touch shared state, so the whole resolve
+			// runs at this SM's serial position.
+			ok := true
+			s.seqDo(func() {
+				tgt := 0
+				if s.g.flt != nil {
+					tgt = core.SelectTargetHealthy(nil, s.g.cfg.NumHMCs,
+						func(t int) bool { return s.g.targetHealthy(now, t) })
+					if tgt < 0 {
+						s.hostFallback(w, now)
+						ok = false
+						return
+					}
 				}
-			}
-			if !s.g.bufmgr.Reserve(tgt, ctx.block.numLD, ctx.block.numST) {
-				s.g.st.CreditStalls++
-				s.sawCreditBlock = true
+				if !s.g.bufmgr.Reserve(tgt, ctx.block.numLD, ctx.block.numST) {
+					s.st.CreditStalls++
+					s.sawCreditBlock = true
+					ok = false
+					return
+				}
+				ctx.target = tgt
+				ctx.targetKnown = true
+				s.flushPending(ctx)
+			})
+			if !ok {
 				return false
 			}
-			ctx.target = tgt
-			ctx.targetKnown = true
-			s.flushPending(ctx)
 		}
 		w.pc++
 		if ctx.ack != nil {
@@ -1428,11 +1628,9 @@ func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 	// Normal-mode end: account the region's instructions for the epoch
 	// throughput metric and close the profiling instance.
 	w.inRegion = false
-	s.g.regionInstrs += int64(blk.instrs)
-	s.g.st.OffloadRegionInstrs += int64(blk.instrs)
-	if s.g.rec != nil {
-		s.g.rec.RecordInstance(blk.id)
-	}
+	s.regionInstrs += int64(blk.instrs)
+	s.st.OffloadRegionInstrs += int64(blk.instrs)
+	s.recordInstance(blk.id)
 	w.pc++
 	return true
 }
@@ -1447,13 +1645,13 @@ func (s *SM) deliverAck(ack *core.AckPacket, now timing.PS) {
 		if s.g.flt != nil {
 			// Late ack for a block that already completed (via an earlier
 			// duplicate) or fell back to host execution.
-			s.g.st.StaleProtoPkts++
+			s.st.StaleProtoPkts++
 			return
 		}
 		panic("gpu: ack for unknown offload context")
 	}
 	if s.g.flt != nil && ack.Tag.Inst != w.off.tag.Inst {
-		s.g.st.StaleProtoPkts++ // ack from a superseded offload instance
+		s.st.StaleProtoPkts++ // ack from a superseded offload instance
 		return
 	}
 	if !w.waitAck {
@@ -1480,27 +1678,32 @@ func (s *SM) buildCmd(ctx *offCtx, w *warp) *core.CmdPacket {
 // handleTimeout fires when an offloaded block's ack deadline passes: retry
 // with exponential backoff while the retry budget and the target's health
 // hold, otherwise quarantine the stack and re-execute the block host-side.
+// The whole handler runs at this SM's serial position under parallel
+// execution: it reads the commit board, may quarantine the target, and
+// mutates fabric-wide offload tracking.
 func (s *SM) handleTimeout(w *warp, now timing.PS) {
-	ctx := w.off
-	s.g.st.OffloadTimeouts++
-	if s.g.flt.InstanceCommitted(ctx.id, ctx.tag.Inst) {
-		// The block committed: its writes are durable and its ack is in
-		// flight on the reliable host link. Re-executing now would repeat
-		// non-idempotent stores, so just re-arm and wait for the ack.
-		ctx.deadline = s.g.attemptDeadline(now, int(ctx.tag.Attempt))
-		return
-	}
-	if int(ctx.tag.Attempt) >= s.g.maxRetries || !s.g.targetHealthy(now, ctx.target) {
-		// Abandon, quarantine, and fall back in one step: the NSU's next
-		// look at the board sees the instance as dead before any checker
-		// can observe the intermediate state.
-		s.g.flt.AbandonInstance(ctx.id, ctx.tag.Inst)
-		s.g.quarantineTarget(ctx.target)
-		s.g.fab.AbandonOffload(now, ctx.id)
-		s.hostFallback(w, now)
-		return
-	}
-	s.retryOffload(w, now)
+	s.seqDo(func() {
+		ctx := w.off
+		s.st.OffloadTimeouts++
+		if s.g.flt.InstanceCommitted(ctx.id, ctx.tag.Inst) {
+			// The block committed: its writes are durable and its ack is in
+			// flight on the reliable host link. Re-executing now would repeat
+			// non-idempotent stores, so just re-arm and wait for the ack.
+			ctx.deadline = s.g.attemptDeadline(now, int(ctx.tag.Attempt))
+			return
+		}
+		if int(ctx.tag.Attempt) >= s.g.maxRetries || !s.g.targetHealthy(now, ctx.target) {
+			// Abandon, quarantine, and fall back in one step: the NSU's next
+			// look at the board sees the instance as dead before any checker
+			// can observe the intermediate state.
+			s.g.flt.AbandonInstance(ctx.id, ctx.tag.Inst)
+			s.g.quarantineTarget(ctx.target)
+			s.g.fab.AbandonOffload(now, ctx.id)
+			s.hostFallback(w, now)
+			return
+		}
+		s.retryOffload(w, now)
+	})
 }
 
 // retryOffload restarts the block's GPU-side walk for a fresh attempt:
@@ -1510,7 +1713,7 @@ func (s *SM) handleTimeout(w *warp, now timing.PS) {
 // duplicate packets against the instance tag.
 func (s *SM) retryOffload(w *warp, now timing.PS) {
 	ctx := w.off
-	s.g.st.OffloadRetries++
+	s.st.OffloadRetries++
 	ctx.tag.Attempt++
 	ctx.deadline = s.g.attemptDeadline(now, int(ctx.tag.Attempt))
 	w.regs = *ctx.regSnap
@@ -1520,7 +1723,7 @@ func (s *SM) retryOffload(w *warp, now timing.PS) {
 	w.pc = ctx.block.begPC + 1
 	s.slotWake[w.slot] = 0
 	cmd := s.buildCmd(ctx, w)
-	s.g.st.OffloadCmdPackets++
+	s.st.OffloadCmdPackets++
 	s.pushReady(ctx.target, cmd.Size(), cmd)
 }
 
@@ -1531,7 +1734,7 @@ func (s *SM) retryOffload(w *warp, now timing.PS) {
 // register state converge to the oracle's.
 func (s *SM) hostFallback(w *warp, now timing.PS) {
 	ctx := w.off
-	s.g.st.FallbackBlocks++
+	s.st.FallbackBlocks++
 	if !ctx.targetKnown {
 		// The command never left the SM: purge it from the pending buffer.
 		rest := s.pendingQ[:0]
@@ -1555,8 +1758,8 @@ func (s *SM) hostFallback(w *warp, now timing.PS) {
 // applyAck writes back the returned registers and releases the warp.
 func (s *SM) applyAck(w *warp, ack *core.AckPacket, now timing.PS) {
 	blk := w.off.block
-	s.g.st.AckLatencySumPS += int64(now - w.off.began)
-	s.g.st.AckLatencyCount++
+	s.st.AckLatencySumPS += int64(now - w.off.began)
+	s.st.AckLatencyCount++
 	if s.g.flt != nil {
 		// The instance is consumed; drop its commit-board record so the
 		// board stays bounded by the in-flight offload count.
@@ -1578,17 +1781,13 @@ func (s *SM) applyAck(w *warp, ack *core.AckPacket, now timing.PS) {
 			fmt.Printf("[%d] ACK writes r%d = %x\n", now, rv.Reg, uint32(rv.Vals[0]))
 		}
 	}
-	if s.g.rec != nil {
-		s.g.rec.RecordTransfer(blk.id, w.off.cmdBytes+ack.Size()-core.HeaderBytes)
-	}
+	s.recordTransfer(blk.id, w.off.cmdBytes+ack.Size()-core.HeaderBytes)
 	w.off = nil
 	w.waitAck = false
 	s.slotWake[w.slot] = 0
-	s.g.regionInstrs += int64(blk.instrs)
-	s.g.st.OffloadRegionInstrs += int64(blk.instrs)
-	if s.g.rec != nil {
-		s.g.rec.RecordInstance(blk.id)
-	}
+	s.regionInstrs += int64(blk.instrs)
+	s.st.OffloadRegionInstrs += int64(blk.instrs)
+	s.recordInstance(blk.id)
 }
 
 // busy reports whether the SM still has live warps or queued packets.

@@ -33,6 +33,7 @@ type HMC struct {
 	cfg config.Config
 	mem *vm.System
 	fab *noc.Fabric
+	out noc.Sender // defaults to fab; a shard outbox in parallel mode
 	st  *stats.Stats
 	nsu NSUPort
 
@@ -53,7 +54,7 @@ type pendingReq struct {
 
 // New builds a stack.
 func New(id int, cfg config.Config, mem *vm.System, fab *noc.Fabric, st *stats.Stats) *HMC {
-	h := &HMC{ID: id, cfg: cfg, mem: mem, fab: fab, st: st,
+	h := &HMC{ID: id, cfg: cfg, mem: mem, fab: fab, out: fab, st: st,
 		overflowCap:  cfg.HMC.EffOverflowCap(),
 		pendingReads: make(map[uint64][]func(at timing.PS))}
 	for v := 0; v < cfg.HMC.NumVaults; v++ {
@@ -64,6 +65,15 @@ func New(id int, cfg config.Config, mem *vm.System, fab *noc.Fabric, st *stats.S
 
 // SetNSU attaches the stack's NSU.
 func (h *HMC) SetNSU(n NSUPort) { h.nsu = n }
+
+// SetSender redirects the stack's outgoing fabric traffic (parallel mode:
+// a per-shard outbox replayed at the commit barrier). The inbox is still
+// read through the fabric directly — it is shard-local state.
+func (h *HMC) SetSender(s noc.Sender) { h.out = s }
+
+// SetStats swaps in a shard-private statistics bundle (parallel mode; folded
+// into the run's bundle at finalization).
+func (h *HMC) SetStats(st *stats.Stats) { h.st = st }
 
 // SetFault attaches the fault injector (vault freezes).
 func (h *HMC) SetFault(inj *fault.Injector) { h.flt = inj }
@@ -158,7 +168,7 @@ func (h *HMC) dispatch(msg any, now timing.PS) {
 		line := m.LineAddr
 		h.readLine(line, now, func(at timing.PS) {
 			h.st.AddTraffic(stats.IntraHMC, int64(h.cfg.LineBytes()))
-			h.fab.SendHMCToGPU(at, h.ID, core.ReadRespBytes(h.cfg.LineBytes()),
+			h.out.SendHMCToGPU(at, h.ID, core.ReadRespBytes(h.cfg.LineBytes()),
 				&core.ReadResp{LineAddr: line})
 		})
 
@@ -183,7 +193,7 @@ func (h *HMC) dispatch(msg any, now timing.PS) {
 			if pkt.Target == h.ID {
 				h.nsu.Deliver(resp, at)
 			} else {
-				h.fab.SendHMCToHMC(at, h.ID, pkt.Target, resp.Size(), resp)
+				h.out.SendHMCToHMC(at, h.ID, pkt.Target, resp.Size(), resp)
 			}
 		})
 
@@ -209,10 +219,10 @@ func (h *HMC) dispatch(msg any, now timing.PS) {
 				if pkt.Source == h.ID {
 					h.nsu.Deliver(ackMsg, at)
 				} else {
-					h.fab.SendHMCToHMC(at, h.ID, pkt.Source, ackMsg.Size(), ackMsg)
+					h.out.SendHMCToHMC(at, h.ID, pkt.Source, ackMsg.Size(), ackMsg)
 				}
 				inval := &core.InvalPacket{LineAddr: pkt.Access.LineAddr, HomeHMC: h.ID}
-				h.fab.SendHMCToGPU(at, h.ID, inval.Size(), inval)
+				h.out.SendHMCToGPU(at, h.ID, inval.Size(), inval)
 			},
 		})
 

@@ -1,6 +1,6 @@
-// Package prof wires the standard Go CPU and heap profilers into the
-// command-line tools, so simulator hot spots can be inspected with
-// `go tool pprof` without rebuilding anything.
+// Package prof wires the standard Go CPU, heap, mutex, and block profilers
+// into the command-line tools, so simulator hot spots and lock contention
+// can be inspected with `go tool pprof` without rebuilding anything.
 package prof
 
 import (
@@ -10,14 +10,33 @@ import (
 	"runtime/pprof"
 )
 
+// Options names the profile outputs; empty paths disable the corresponding
+// profiler.
+type Options struct {
+	CPU   string // CPU profile, sampled while running
+	Mem   string // GC-settled heap profile, written at stop
+	Mutex string // mutex-contention profile, written at stop
+	Block string // blocking (channel/lock wait) profile, written at stop
+}
+
 // Start begins CPU profiling if cpuFile is non-empty and returns a stop
 // function that ends the CPU profile and, if memFile is non-empty, writes a
-// GC-settled heap profile. The stop function must run before process exit;
-// it is safe to call when both paths are empty.
+// GC-settled heap profile. Kept for callers that only need the classic pair;
+// see StartOpts for mutex/block profiles.
 func Start(cpuFile, memFile string) (stop func(), err error) {
+	return StartOpts(Options{CPU: cpuFile, Mem: memFile})
+}
+
+// StartOpts enables the requested profilers and returns a stop function that
+// writes every end-of-run profile. The stop function must run before process
+// exit; it is safe to call when all paths are empty.
+//
+// Mutex and block profiling carry a runtime cost while enabled, so their
+// collection rates are only raised when an output path asks for them.
+func StartOpts(o Options) (stop func(), err error) {
 	var cpu *os.File
-	if cpuFile != "" {
-		cpu, err = os.Create(cpuFile)
+	if o.CPU != "" {
+		cpu, err = os.Create(o.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -26,23 +45,47 @@ func Start(cpuFile, memFile string) (stop func(), err error) {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 	}
+	if o.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if o.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 	return func() {
 		if cpu != nil {
 			pprof.StopCPUProfile()
 			cpu.Close()
 		}
-		if memFile == "" {
-			return
+		if o.Mem != "" {
+			writeProfile(o.Mem, "memprofile", func(f *os.File) error {
+				runtime.GC() // settle the heap so the profile shows live objects
+				return pprof.WriteHeapProfile(f)
+			})
 		}
-		f, err := os.Create(memFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
-			return
+		if o.Mutex != "" {
+			writeNamed(o.Mutex, "mutexprofile", "mutex")
 		}
-		defer f.Close()
-		runtime.GC() // settle the heap so the profile shows live objects
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		if o.Block != "" {
+			writeNamed(o.Block, "blockprofile", "block")
 		}
 	}, nil
+}
+
+// writeNamed dumps one of the runtime's named profiles.
+func writeNamed(path, label, profile string) {
+	writeProfile(path, label, func(f *os.File) error {
+		return pprof.Lookup(profile).WriteTo(f, 0)
+	})
+}
+
+func writeProfile(path, label string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, label+":", err)
+		return
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, label+":", err)
+	}
 }

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/stats"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+// parLeg captures everything a run can externally observe: the final memory
+// image, the complete statistics bundle, and (when auditing) the violation
+// count.
+type parLeg struct {
+	mem        []byte
+	st         *stats.Stats
+	cycles     int64
+	violations int64
+}
+
+// runParLeg runs one workload/mode with the given Parallel degree and
+// returns the observable outcome. The functional output is verified against
+// the host reference in every leg.
+func runParLeg(t *testing.T, cfg config.Config, abbr string, mode Mode, par int, withAudit bool) parLeg {
+	t.Helper()
+	cfg.Parallel = par
+	mem := vm.New(cfg)
+	w, err := workloads.Build(abbr, mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Launch(cfg, w.Kernel, mem, mode)
+	if err != nil {
+		t.Fatalf("%s/%s par=%d: Launch: %v", abbr, mode.Name, par, err)
+	}
+	leg := parLeg{}
+	var aud interface{ Count() int64 }
+	if withAudit {
+		aud = m.EnableAudit()
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatalf("%s/%s par=%d: Run: %v", abbr, mode.Name, par, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("%s/%s par=%d: verification failed: %v", abbr, mode.Name, par, err)
+	}
+	if aud != nil {
+		leg.violations = aud.Count()
+	}
+	leg.mem = mem.Snapshot()
+	leg.st = res.Stats
+	leg.cycles = res.Cycles
+	return leg
+}
+
+// requireIdentical asserts bit-identity of two legs: same final memory image
+// and every statistics counter equal.
+func requireIdentical(t *testing.T, name string, serial, parallel parLeg) {
+	t.Helper()
+	if serial.cycles != parallel.cycles {
+		t.Errorf("%s: cycles diverge: serial=%d parallel=%d", name, serial.cycles, parallel.cycles)
+	}
+	if !bytes.Equal(serial.mem, parallel.mem) {
+		t.Errorf("%s: final memory images differ", name)
+	}
+	if !reflect.DeepEqual(serial.st, parallel.st) {
+		t.Errorf("%s: statistics diverge:\nserial:   %+v\nparallel: %+v", name, serial.st, parallel.st)
+	}
+}
+
+// TestParallelEquivalence proves the determinism contract of the sharded
+// executor the same way TestIdleSkipEquivalence proved idle skipping: for
+// every workload x mode leg, a run with Parallel=4 must be bit-identical to
+// the serial reference — same final memory image, same cycle count, every
+// statistics counter equal. The mode set covers all decider kinds the
+// sequencer handles differently: Never/Always (pure, unsequenced), Dynamic
+// (seeded PRNG draws at serial positions), and CacheAware (profile shards
+// folded before each decision).
+func TestParallelEquivalence(t *testing.T) {
+	cfg := smallConfig()
+	wls := workloads.Abbrs()
+	if testing.Short() {
+		wls = []string{"VADD", "BFS"}
+	}
+	modes := []Mode{Baseline, NaiveNDP, DynCache}
+	for _, abbr := range wls {
+		for _, mode := range modes {
+			abbr, mode := abbr, mode
+			t.Run(abbr+"/"+mode.Name, func(t *testing.T) {
+				serial := runParLeg(t, cfg, abbr, mode, 0, false)
+				par := runParLeg(t, cfg, abbr, mode, 4, false)
+				requireIdentical(t, abbr+"/"+mode.Name, serial, par)
+			})
+		}
+	}
+	// Plain Dynamic (no cache filter): the PRNG-draw sequencing without
+	// profile folding.
+	t.Run("VADD/NDP(Dyn)", func(t *testing.T) {
+		serial := runParLeg(t, cfg, "VADD", DynNDP, 0, false)
+		par := runParLeg(t, cfg, "VADD", DynNDP, 4, false)
+		requireIdentical(t, "VADD/NDP(Dyn)", serial, par)
+	})
+}
+
+// TestParallelEquivalenceAudited runs a leg with every invariant checker
+// attached: the auditor must observe the identical post-commit state in both
+// modes (zero violations, identical statistics).
+func TestParallelEquivalenceAudited(t *testing.T) {
+	cfg := AuditConfig()
+	serial := runParLeg(t, cfg, "VADD", NaiveNDP, 0, true)
+	par := runParLeg(t, cfg, "VADD", NaiveNDP, 4, true)
+	if serial.violations != 0 || par.violations != 0 {
+		t.Fatalf("audit violations: serial=%d parallel=%d, want 0", serial.violations, par.violations)
+	}
+	requireIdentical(t, "audited VADD/NaiveNDP", serial, par)
+}
+
+// TestParallelEquivalenceChaos runs a leg under a deterministic fault
+// schedule that exercises the sequenced recovery paths (timeouts, retries),
+// with auditing on: the parallel run must reproduce the serial run's
+// recovery decisions bit for bit.
+func TestParallelEquivalenceChaos(t *testing.T) {
+	cfg := AuditConfig()
+	var spec string
+	for _, s := range PinnedSchedules() {
+		if s.Name == "frozen-vault" {
+			spec = s.Spec
+		}
+	}
+	if spec == "" {
+		t.Fatal("frozen-vault schedule not found")
+	}
+	fc, err := ChaosFaultConfig(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fault = fc
+	serial := runParLeg(t, cfg, "VADD", NaiveNDP, 0, true)
+	par := runParLeg(t, cfg, "VADD", NaiveNDP, 4, true)
+	if serial.violations != 0 || par.violations != 0 {
+		t.Fatalf("audit violations: serial=%d parallel=%d, want 0", serial.violations, par.violations)
+	}
+	if serial.st.OffloadTimeouts == 0 {
+		t.Fatal("chaos leg fired no timeouts; schedule inert")
+	}
+	requireIdentical(t, "chaos VADD/NaiveNDP", serial, par)
+}

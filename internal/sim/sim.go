@@ -62,6 +62,11 @@ type Machine struct {
 	smDomain  *timing.Domain
 	nsuDomain *timing.Domain
 
+	// Parallel execution (cfg.Parallel > 1): the worker pool and the
+	// per-stack shard statistics bundles, folded into St at finalization.
+	pool     *timing.Pool
+	shardSts []*stats.Stats
+
 	aud *audit.Auditor // nil unless EnableAudit was called
 	flt *fault.Injector // nil unless the config carries a fault schedule
 
@@ -160,20 +165,93 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, dec core.Dec
 	xbar := m.engine.AddDomain("xbar", timing.PeriodFromMHz(cfg.GPU.XbarClockMHz))
 	xbar.Attach(m.g.XbarTicker())
 	dramDom := m.engine.AddDomain("dram", timing.PS(cfg.HMC.TCKps))
-	for _, h := range m.hmcs {
-		dramDom.Attach(h)
-	}
 	m.nsuDomain = m.engine.AddDomain("nsu", timing.PeriodFromMHz(cfg.NSU.ClockMHz))
-	for _, n := range m.nsus {
-		m.nsuDomain.Attach(n)
+	if cfg.Parallel > 1 {
+		m.assembleParallel(dramDom)
+	} else {
+		for _, h := range m.hmcs {
+			dramDom.Attach(h)
+		}
+		for _, n := range m.nsus {
+			m.nsuDomain.Attach(n)
+		}
 	}
 	m.smDomain.Attach(swapTicker{m})
 	if m.flt != nil {
 		// Pins SM edges at schedule boundaries so fault windows take effect
 		// at exact cycles even under idle skipping.
 		m.smDomain.Attach(fault.Ticker{Inj: m.flt})
+		if cfg.Parallel > 1 {
+			// Apply the schedule before any domain ticks, so the in-phase
+			// fault queries from concurrent shards are read-only.
+			m.engine.AddPreStep(func(now timing.PS) { m.flt.Apply(now) })
+		}
 	}
 	return m, nil
+}
+
+// stackShard adapts one stack-side component (an HMC or its NSU) plus the
+// stack's outbox to timing.Shard: Tick computes against shard-own state,
+// Commit replays the deferred cross-shard effects. The HMC and NSU of a
+// stack share one outbox — their domains never tick in the same phase, and
+// a unified log preserves the exact serial interleaving of their sends.
+type stackShard struct {
+	inner timing.Ticker
+	hint  timing.IdleHint
+	skip  timing.IdleSkipper
+	out   *noc.Outbox
+}
+
+func newStackShard(t timing.Ticker, out *noc.Outbox) *stackShard {
+	s := &stackShard{inner: t, out: out}
+	s.hint, _ = t.(timing.IdleHint)
+	s.skip, _ = t.(timing.IdleSkipper)
+	return s
+}
+
+func (s *stackShard) Tick(now timing.PS)   { s.inner.Tick(now) }
+func (s *stackShard) Commit(now timing.PS) { s.out.Flush() }
+
+func (s *stackShard) NextWorkAt(now timing.PS) timing.PS {
+	if s.hint == nil {
+		return now
+	}
+	return s.hint.NextWorkAt(now)
+}
+
+func (s *stackShard) SkipIdle(n int64) {
+	if s.skip != nil {
+		s.skip.SkipIdle(n)
+	}
+}
+
+// assembleParallel rewires the machine for deterministic sharded execution:
+// each memory stack (HMC + NSU) becomes a shard with a private statistics
+// bundle and a deferred-effect outbox, the dram and nsu domains tick their
+// shards on a shared worker pool, and the GPU's SM array switches to its own
+// compute/commit split (unless the NSU read-only-cache mirror pins it
+// serial). Everything folds back at barriers or finalization, so results
+// stay bit-identical to the serial engine.
+func (m *Machine) assembleParallel(dramDom *timing.Domain) {
+	m.pool = timing.NewPool(m.Cfg.Parallel)
+	m.g.SetParallel(m.pool)
+	hshards := make([]timing.Shard, 0, len(m.hmcs))
+	nshards := make([]timing.Shard, 0, len(m.nsus))
+	for i := range m.hmcs {
+		sst := stats.New()
+		m.shardSts = append(m.shardSts, sst)
+		out := noc.NewOutbox(m.fab, m.g.BufferManager())
+		m.hmcs[i].SetSender(out)
+		m.hmcs[i].SetStats(sst)
+		m.nsus[i].SetSender(out)
+		m.nsus[i].SetCredits(out)
+		m.nsus[i].SetStats(sst)
+		m.fab.DeferEjects(i, out)
+		hshards = append(hshards, newStackShard(m.hmcs[i], out))
+		nshards = append(nshards, newStackShard(m.nsus[i], out))
+	}
+	dramDom.Attach(timing.NewSharded(m.pool, hshards...))
+	m.nsuDomain.Attach(timing.NewSharded(m.pool, nshards...))
 }
 
 // swapTicker drives serviceSwaps on the SM clock with an idle hint: with no
@@ -424,6 +502,7 @@ func (m *Machine) Run(limitPS timing.PS) (*Result, error) {
 		limitPS = DefaultLimitPS
 	}
 	_, ok := m.engine.RunUntil(m.done, limitPS)
+	m.pool.Close() // nil-safe; stops the parallel workers, if any
 	m.finalize()
 	if m.aud != nil {
 		m.aud.RunChecks(m.engine.Now(), true)
@@ -452,6 +531,16 @@ func (m *Machine) finalize() {
 	}
 	for _, n := range m.nsus {
 		m.St.SetNSUICode(n.ID, n.ICodeBytes())
+	}
+	// Parallel mode: fold every shard-private bundle into the run's bundle.
+	// The shard counters are disjoint deltas (each event counted on exactly
+	// one shard), so the fold order cannot matter; FoldInto max-merges the
+	// high-water marks and the NSU I-code footprints.
+	for _, s := range m.shardSts {
+		stats.FoldInto(m.St, s)
+	}
+	for _, s := range m.g.ShardStats() {
+		stats.FoldInto(m.St, s)
 	}
 }
 

@@ -1,6 +1,12 @@
 // Package stats collects simulation statistics: cycle counts, the GPU
 // no-issue-cycle breakdown of Figure 8, traffic by link class, cache hit
 // rates, NDP protocol counters, and NSU utilization (Figure 11).
+//
+// Every per-packet/per-cycle counter is a flat struct field or a fixed-size
+// array indexed by a small enum (NoIssue, Traffic) — never a map — so the
+// hot-path increment is a single add with no hashing; keep it that way. The
+// only slice, NSUICodeBytes, is written once per NSU at spawn/finalize, off
+// the packet path.
 package stats
 
 import (
@@ -287,6 +293,102 @@ func (s *Stats) FaultActivity() bool {
 	return s.OffloadRetries|s.OffloadTimeouts|s.FallbackBlocks|s.QuarantinedNSUs|
 		s.ReroutedHops|s.RouteUnreachable|s.DroppedPackets|s.CorruptedPackets|
 		s.StaleProtoPkts|s.NSUAbortedWarps|s.HMCOverflowStall != 0
+}
+
+// fold adds src's cache counters into c.
+func (c *CacheStats) fold(src CacheStats) {
+	c.Accesses += src.Accesses
+	c.Hits += src.Hits
+	c.MSHRStalls += src.MSHRStalls
+	c.Evictions += src.Evictions
+	c.Fills += src.Fills
+	c.Invalidations += src.Invalidations
+}
+
+// FoldInto merges the shard-local counter bundle src into dst. Parallel
+// execution gives every shard (each SM, each memory stack) its own Stats so
+// hot-path increments never contend; the bundles are folded into the main
+// Stats exactly once, at finalize, in shard index order.
+//
+// Every integer counter is a plain sum, which commutes, with two exceptions:
+// HMCOverflowHWM is a high-water mark (max-merge) and NSUICodeBytes is
+// per-NSU indexed (each shard writes only its own index, so max-merge per
+// index is an exact union). RatioTrace and Energy are coordinator-only —
+// appended serially at epoch boundaries and filled by the energy model after
+// the run — so shard bundles never carry them and they are not merged here.
+// TestFoldIntoCoversAllCounters enforces by reflection that every integer
+// field of Stats is handled.
+func FoldInto(dst, src *Stats) {
+	dst.SMCycles += src.SMCycles
+	dst.ElapsedPS += src.ElapsedPS
+	dst.NSUCycles += src.NSUCycles
+
+	dst.IssuedInstrs += src.IssuedInstrs
+	dst.IssuedThreadOps += src.IssuedThreadOps
+	for k := range dst.NoIssue {
+		dst.NoIssue[k] += src.NoIssue[k]
+	}
+	dst.IssueCycles += src.IssueCycles
+
+	dst.NSUInstrs += src.NSUInstrs
+	dst.NSUWarpCycleSum += src.NSUWarpCycleSum
+	dst.NSUActiveCycles += src.NSUActiveCycles
+	for id, b := range src.NSUICodeBytes {
+		for len(dst.NSUICodeBytes) <= id {
+			dst.NSUICodeBytes = append(dst.NSUICodeBytes, 0)
+		}
+		if b > dst.NSUICodeBytes[id] {
+			dst.NSUICodeBytes[id] = b
+		}
+	}
+	dst.NSUWarpsSpawned += src.NSUWarpsSpawned
+	dst.NSUStallRDWait += src.NSUStallRDWait
+	dst.NSUStallWrAck += src.NSUStallWrAck
+
+	dst.L1D.fold(src.L1D)
+	dst.L1I.fold(src.L1I)
+	dst.L2.fold(src.L2)
+	dst.TLB.fold(src.TLB)
+	dst.DRAMReads += src.DRAMReads
+	dst.DRAMWrites += src.DRAMWrites
+	dst.DRAMActivations += src.DRAMActivations
+	dst.DRAMRowHits += src.DRAMRowHits
+
+	for c := range dst.Traffic {
+		dst.Traffic[c] += src.Traffic[c]
+	}
+
+	dst.OffloadBlocksSeen += src.OffloadBlocksSeen
+	dst.OffloadBlocksOffloaded += src.OffloadBlocksOffloaded
+	dst.OffloadCmdPackets += src.OffloadCmdPackets
+	dst.RDFPackets += src.RDFPackets
+	dst.RDFCacheHits += src.RDFCacheHits
+	dst.WTAPackets += src.WTAPackets
+	dst.RDFRespPackets += src.RDFRespPackets
+	dst.AckPackets += src.AckPackets
+	dst.InvalPackets += src.InvalPackets
+	dst.InvalBytes += src.InvalBytes
+	dst.PendingBufStalls += src.PendingBufStalls
+	dst.CreditStalls += src.CreditStalls
+	dst.AckLatencySumPS += src.AckLatencySumPS
+	dst.AckLatencyCount += src.AckLatencyCount
+
+	dst.OffloadRegionInstrs += src.OffloadRegionInstrs
+
+	dst.OffloadRetries += src.OffloadRetries
+	dst.OffloadTimeouts += src.OffloadTimeouts
+	dst.FallbackBlocks += src.FallbackBlocks
+	dst.QuarantinedNSUs += src.QuarantinedNSUs
+	dst.ReroutedHops += src.ReroutedHops
+	dst.RouteUnreachable += src.RouteUnreachable
+	dst.DroppedPackets += src.DroppedPackets
+	dst.CorruptedPackets += src.CorruptedPackets
+	dst.StaleProtoPkts += src.StaleProtoPkts
+	dst.NSUAbortedWarps += src.NSUAbortedWarps
+	if src.HMCOverflowHWM > dst.HMCOverflowHWM {
+		dst.HMCOverflowHWM = src.HMCOverflowHWM
+	}
+	dst.HMCOverflowStall += src.HMCOverflowStall
 }
 
 // MergeICode folds per-NSU instruction-byte footprints into sorted order for

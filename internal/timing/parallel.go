@@ -1,0 +1,278 @@
+// Deterministic sharded parallel execution.
+//
+// The simulated machine is intrinsically shard-parallel: each memory stack
+// (HMC + vaults + NSU) couples to the rest of the system only through the
+// memory network, and the GPU's SMs couple only through the crossbar, the
+// shared decider/credit state, and functional memory. The executor here
+// exploits that as a compute/commit split:
+//
+//   - compute phase: every shard of a domain ticks concurrently on a
+//     persistent worker pool. A shard writes only its own state plus a
+//     per-shard outbox of deferred cross-shard effects (fabric sends, credit
+//     returns, audit ejects).
+//   - commit phase: at the barrier the outboxes replay in fixed shard index
+//     order, reproducing exactly the sequence of cross-shard calls serial
+//     execution would have made (shard 0 ticks before shard 1 in attach
+//     order, and within a shard the outbox preserves program order).
+//
+// Rare operations that are order-sensitive *within* the compute phase (a
+// seeded PRNG draw, an all-or-nothing credit reservation) run through a
+// Sequencer, which releases them in shard index order — shard k's operation
+// waits until every lower-indexed shard has finished its whole tick, which is
+// exactly the point at which serial execution would have reached it.
+//
+// Both mechanisms make parallel execution bit-identical to serial execution;
+// TestParallelEquivalence proves it the same way TestIdleSkipEquivalence
+// proved idle skipping.
+package timing
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for compute phases. Run dispatches items
+// in index order (item i never starts before item j<i has been claimed),
+// which the Sequencer's deadlock-freedom argument relies on. The calling
+// goroutine participates as a worker, so a Pool of size n uses n-1 background
+// goroutines, started lazily on first use.
+type Pool struct {
+	workers int
+	once    sync.Once
+	work    chan *batch
+	quit    chan struct{}
+}
+
+type batch struct {
+	n    int
+	f    func(int)
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// NewPool returns a pool that runs compute phases on up to `workers`
+// goroutines (including the caller). workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the configured parallelism degree.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) start() {
+	p.work = make(chan *batch)
+	p.quit = make(chan struct{})
+	work, quit := p.work, p.quit
+	for i := 0; i < p.workers-1; i++ {
+		go func() {
+			for {
+				select {
+				case b := <-work:
+					b.drain()
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (b *batch) drain() {
+	for {
+		i := int(b.next.Add(1) - 1)
+		if i >= b.n {
+			return
+		}
+		b.f(i)
+		b.wg.Done()
+	}
+}
+
+// Run executes f(0..n-1) across the pool and returns when all calls have
+// completed. Items are claimed in index order via a shared counter, so the
+// set of started items is always a prefix of 0..n-1. With one worker (or one
+// item) it degenerates to a plain serial loop.
+func (p *Pool) Run(n int, f func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	p.once.Do(p.start)
+	b := &batch{n: n, f: f}
+	b.wg.Add(n)
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.work <- b:
+		default:
+			// All background workers are busy (they never are between
+			// phases, but don't block if one is slow to park).
+			i = helpers
+		}
+	}
+	b.drain() // the caller works too
+	b.wg.Wait()
+}
+
+// Close stops the background workers. The pool must not be used afterwards.
+func (p *Pool) Close() {
+	if p == nil || p.quit == nil {
+		return
+	}
+	close(p.quit)
+	p.quit = nil
+}
+
+// Sequencer releases rare order-sensitive operations in shard index order
+// during a compute phase. The protocol: every shard calls Finish(k) when its
+// tick completes; an operation submitted by shard k with Do(k, f) runs only
+// once every shard j < k has finished. Because serial execution ticks shards
+// in index order, this reproduces exactly the serial position of f in the
+// global operation sequence.
+//
+// Deadlock-freedom: Pool.Run starts items in index order, so the started set
+// is a prefix; the lowest-indexed unfinished shard is always started and its
+// wait condition (all lower shards finished) already holds, so it can always
+// progress. Operations run under the Sequencer's lock, which also provides
+// the happens-before edge from every lower shard's writes (published by
+// Finish) to the operation body.
+type Sequencer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done []bool
+	low  int // lowest shard index not yet finished
+}
+
+// NewSequencer returns a sequencer for phases of up to n shards.
+func NewSequencer(n int) *Sequencer {
+	s := &Sequencer{done: make([]bool, n)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Begin resets the sequencer for a new compute phase of n shards.
+func (s *Sequencer) Begin(n int) {
+	s.mu.Lock()
+	if n > len(s.done) {
+		s.done = make([]bool, n)
+	} else {
+		for i := 0; i < n; i++ {
+			s.done[i] = false
+		}
+	}
+	s.low = 0
+	s.mu.Unlock()
+}
+
+// Do runs f once every shard with index < k has finished the current phase.
+// f executes under the sequencer lock, serializing it against every other
+// sequenced operation.
+func (s *Sequencer) Do(k int, f func()) {
+	s.mu.Lock()
+	for s.low < k {
+		s.cond.Wait()
+	}
+	f()
+	s.mu.Unlock()
+}
+
+// Finish marks shard k's tick complete, unblocking operations of higher
+// shards. Every shard of the phase must call it exactly once.
+func (s *Sequencer) Finish(k int) {
+	s.mu.Lock()
+	s.done[k] = true
+	for s.low < len(s.done) && s.done[s.low] {
+		s.low++
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Shard is a Ticker whose cross-shard effects are deferred into an outbox
+// during Tick and replayed by Commit. Sharded drives a group of them as one
+// compute/commit pair.
+type Shard interface {
+	Ticker
+	// Commit replays the shard's deferred cross-shard effects (fabric
+	// sends, credit returns, audit ejects) in the order they were
+	// generated. Called on the coordinating goroutine, in shard index
+	// order, after every shard of the group has finished computing.
+	Commit(now PS)
+}
+
+// Sharded adapts a group of shards to a single domain Ticker: Tick runs the
+// compute phase of every shard concurrently on the pool, then commits each
+// shard's outbox in index order. It forwards idle hints (min over shards) and
+// idle skipping, so a sharded domain skips exactly like its serial
+// counterpart.
+type Sharded struct {
+	pool     *Pool
+	shards   []Shard
+	hints    []IdleHint    // parallel to shards, nil entries when absent
+	skippers []IdleSkipper // shards that batch per-cycle statistics
+	hintable bool
+}
+
+// NewSharded groups shards for concurrent execution on pool.
+func NewSharded(pool *Pool, shards ...Shard) *Sharded {
+	s := &Sharded{pool: pool, shards: shards, hintable: true}
+	for _, sh := range shards {
+		h, ok := sh.(IdleHint)
+		if !ok {
+			s.hintable = false
+		}
+		s.hints = append(s.hints, h)
+		if sk, ok := sh.(IdleSkipper); ok {
+			s.skippers = append(s.skippers, sk)
+		}
+	}
+	return s
+}
+
+// Tick implements Ticker: compute phase in parallel, commit phase in shard
+// index order.
+func (s *Sharded) Tick(now PS) {
+	s.pool.Run(len(s.shards), func(i int) { s.shards[i].Tick(now) })
+	for _, sh := range s.shards {
+		sh.Commit(now)
+	}
+}
+
+// NextWorkAt implements IdleHint as the earliest wake time over the group —
+// the same value the engine would compute from the shards attached
+// individually.
+func (s *Sharded) NextWorkAt(now PS) PS {
+	if !s.hintable {
+		return now
+	}
+	wake := Never
+	for _, h := range s.hints {
+		if w := h.NextWorkAt(now); w < wake {
+			wake = w
+			if wake <= now {
+				return wake
+			}
+		}
+	}
+	return wake
+}
+
+// SkipIdle implements IdleSkipper by forwarding to every shard that batches
+// per-cycle statistics.
+func (s *Sharded) SkipIdle(cycles int64) {
+	for _, sk := range s.skippers {
+		sk.SkipIdle(cycles)
+	}
+}

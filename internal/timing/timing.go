@@ -81,12 +81,20 @@ type Domain struct {
 
 // Engine schedules a set of clock domains over integer-picosecond time.
 type Engine struct {
-	domains []*Domain
-	now     PS
-	skip    bool
-	limit   PS
-	fired   bool
+	domains  []*Domain
+	now      PS
+	skip     bool
+	limit    PS
+	fired    bool
+	preSteps []func(now PS)
 }
+
+// AddPreStep registers a hook that runs at the top of every engine step,
+// after the step's timestamp is fixed and before any domain fires. Parallel
+// execution uses it to pin time-dependent global state (the fault injector's
+// schedule) once per step, so concurrent shard queries within the step are
+// read-only.
+func (e *Engine) AddPreStep(f func(now PS)) { e.preSteps = append(e.preSteps, f) }
 
 // NewEngine returns an empty engine at time zero with idle skipping enabled.
 func NewEngine() *Engine { return &Engine{skip: true, limit: Never} }
@@ -218,6 +226,9 @@ func (e *Engine) Step() bool {
 	}
 	e.now = next
 	e.fired = false
+	for _, f := range e.preSteps {
+		f(next)
+	}
 	for _, d := range e.domains {
 		if d.next > next {
 			continue
@@ -261,6 +272,9 @@ func (e *Engine) stepDense() bool {
 		}
 	}
 	e.now = next
+	for _, f := range e.preSteps {
+		f(next)
+	}
 	for _, d := range e.domains {
 		if d.next == next {
 			d.Cycles++
