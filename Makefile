@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet check audit chaos bench bench-engine bench-scaling test-parallel clean
+.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-scaling bench-smoke test-parallel golden golden-update clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,20 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# Style gate: gofmt cleanliness, go vet, and staticcheck when it is on PATH
+# (CI installs it; locally the target degrades gracefully).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Pre-PR gate: build everything, vet, run the short suite, then the race
 # detector over the packages with concurrent test harnesses. Run this (plus
@@ -68,6 +82,25 @@ bench-scaling:
 # race detector.
 test-parallel:
 	$(GO) test -race -run 'TestParallelEquivalence' -timeout 45m ./internal/sim
+
+# Golden-digest regression gate: recompute the per-workload x mode statistic
+# digests (deterministic) and diff them against the committed file. Any drift
+# is a behavior change — either a bug or an intended change that needs
+# `make golden-update` plus a PR note explaining the new numbers.
+golden:
+	$(GO) run ./cmd/ndpreport golden -out /tmp/ndpgpu_golden.json
+	$(GO) run ./cmd/ndpreport diff testdata/golden_digests.json /tmp/ndpgpu_golden.json
+
+# Refresh the committed golden digests after an intended behavior change.
+golden-update:
+	$(GO) run ./cmd/ndpreport golden -out testdata/golden_digests.json
+	@echo "testdata/golden_digests.json refreshed; commit it with an explanation."
+
+# One-iteration benchmark smoke with the ±25% gate against the recorded
+# reference (fails only on slowdowns; a faster host just warns).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSingleRunVADD$$' -benchmem -benchtime 1x . | tee bench_smoke.txt
+	$(GO) run ./cmd/ndpreport benchgate -bench bench_smoke.txt -ref BENCH_pr4.json
 
 clean:
 	$(GO) clean ./...

@@ -25,7 +25,7 @@ func main() {
 	var (
 		in         = flag.String("in", "", "assembly source file")
 		run        = flag.Bool("run", false, "execute the kernel after assembling")
-		mode       = flag.String("mode", "baseline", "baseline|naive|static=<p>|dyn|dyncache")
+		mode       = flag.String("mode", "baseline", sim.ModeUsage)
 		arrayWords = flag.Int("arraywords", 1<<16, "words allocated per kernel parameter for -run")
 	)
 	flag.Parse()
@@ -64,7 +64,7 @@ func main() {
 	if !*run {
 		return
 	}
-	m, _, err := parseMode(*mode, cfg)
+	m, cfg, err := sim.ParseMode(*mode, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,21 +78,6 @@ func main() {
 	}
 	fmt.Printf("ran in %.3f us (%d SM cycles)\n", float64(res.TimePS)/1e6, res.Cycles)
 	fmt.Print(res.Stats.String())
-}
-
-func parseMode(name string, cfg config.Config) (sim.Mode, config.Config, error) {
-	switch name {
-	case "baseline":
-		return sim.Baseline, cfg, nil
-	case "naive":
-		return sim.NaiveNDP, cfg, nil
-	case "dyn":
-		return sim.DynNDP, cfg, nil
-	case "dyncache":
-		return sim.DynCache, cfg, nil
-	default:
-		return sim.Mode{}, cfg, fmt.Errorf("unknown mode %q", name)
-	}
 }
 
 func fatal(err error) {

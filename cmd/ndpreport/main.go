@@ -1,0 +1,298 @@
+// Command ndpreport inspects and compares the simulator's machine-readable
+// outputs: metrics runs (ndpsim -metrics), golden statistic digests, and
+// benchmark records.
+//
+// Usage:
+//
+//	ndpreport show run.json                   # sparkline summary of a metrics run
+//	ndpreport diff a.json b.json              # numeric-leaf diff, nonzero exit on drift
+//	ndpreport diff -tol 0.05 a.json b.json
+//	ndpreport diff -tolprefix 'spans=0.1;series=0.02' a.json b.json
+//	ndpreport golden -out golden.json         # recompute the golden digests
+//	ndpreport benchgate -bench out.txt -ref BENCH_pr4.json
+//
+// Exit status: 0 success / no drift, 1 drift or gate failure, 2 usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ndpgpu/internal/experiments"
+	"ndpgpu/internal/metrics"
+	"ndpgpu/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(werr io.Writer) int {
+	fmt.Fprintln(werr, "usage: ndpreport <show|diff|golden|benchgate> [flags] [args]")
+	return 2
+}
+
+func run(args []string, w, werr io.Writer) int {
+	if len(args) == 0 {
+		return usage(werr)
+	}
+	switch args[0] {
+	case "show":
+		return runShow(args[1:], w, werr)
+	case "diff":
+		return runDiff(args[1:], w, werr)
+	case "golden":
+		return runGolden(args[1:], w, werr)
+	case "benchgate":
+		return runBenchgate(args[1:], w, werr)
+	default:
+		fmt.Fprintf(werr, "ndpreport: unknown subcommand %q\n", args[0])
+		return usage(werr)
+	}
+}
+
+// runShow prints a sparkline per series of a metrics run.
+func runShow(args []string, w, werr io.Writer) int {
+	fs := flag.NewFlagSet("ndpreport show", flag.ContinueOnError)
+	fs.SetOutput(werr)
+	width := fs.Int("width", 60, "sparkline width in glyphs")
+	track := fs.String("track", "", "only show series on this track")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(werr, "usage: ndpreport show [-width N] [-track name] run.json")
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 2
+	}
+	var r metrics.Run
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 2
+	}
+	if r.Schema != metrics.Schema {
+		fmt.Fprintf(werr, "ndpreport: %s: schema %q, want %q\n", fs.Arg(0), r.Schema, metrics.Schema)
+		return 2
+	}
+	var endPS int64
+	if n := len(r.TimesPS); n > 0 {
+		endPS = r.TimesPS[n-1]
+	}
+	fmt.Fprintf(w, "%s  interval=%d cycles  samples=%d  end=%.3f us",
+		fs.Arg(0), r.IntervalCycles, len(r.TimesPS), float64(endPS)/1e6)
+	if len(r.Meta) > 0 {
+		keys := make([]string, 0, len(r.Meta))
+		for k := range r.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %s=%s", k, r.Meta[k])
+		}
+	}
+	fmt.Fprintln(w)
+	for _, s := range r.Series {
+		if *track != "" && s.Track != *track {
+			continue
+		}
+		min, max, last := seriesRange(s.Samples)
+		fmt.Fprintf(w, "%-28s %s  min=%-10.4g max=%-10.4g last=%-10.4g %s\n",
+			s.Track+"/"+s.Name, metrics.Sparkline(s.Samples, *width), min, max, last, s.Unit)
+	}
+	if len(r.Spans) > 0 {
+		var sum int64
+		for _, sp := range r.Spans {
+			sum += sp.DurPS
+		}
+		fmt.Fprintf(w, "%d offload round trips, %.2f us avg", len(r.Spans),
+			float64(sum)/float64(len(r.Spans))/1e6)
+		if r.SpansDropped > 0 {
+			fmt.Fprintf(w, " (%d dropped past the retention cap)", r.SpansDropped)
+		}
+		fmt.Fprintln(w)
+	}
+	return 0
+}
+
+func seriesRange(samples []float64) (min, max, last float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	min, max = samples[0], samples[0]
+	for _, v := range samples {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, samples[len(samples)-1]
+}
+
+// runDiff compares the numeric leaves of two JSON documents.
+func runDiff(args []string, w, werr io.Writer) int {
+	fs := flag.NewFlagSet("ndpreport diff", flag.ContinueOnError)
+	fs.SetOutput(werr)
+	tol := fs.Float64("tol", 0, "default relative tolerance")
+	tolPrefix := fs.String("tolprefix", "", "per-prefix tolerances, 'prefix=tol;prefix=tol' (longest prefix wins)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
+		fmt.Fprintln(werr, "usage: ndpreport diff [-tol f] [-tolprefix 'p=f;p=f'] a.json b.json")
+		return 2
+	}
+	tols := metrics.Tolerances{Default: *tol}
+	if *tolPrefix != "" {
+		tols.ByPrefix = map[string]float64{}
+		for _, part := range strings.Split(*tolPrefix, ";") {
+			k, v, ok := strings.Cut(part, "=")
+			if !ok {
+				fmt.Fprintf(werr, "ndpreport: bad -tolprefix entry %q (want prefix=tol)\n", part)
+				return 2
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fmt.Fprintf(werr, "ndpreport: bad tolerance in %q: %v\n", part, err)
+				return 2
+			}
+			tols.ByPrefix[k] = f
+		}
+	}
+	a, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 2
+	}
+	b, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 2
+	}
+	drifts, err := metrics.DiffJSON(a, b, tols)
+	if err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 2
+	}
+	if len(drifts) == 0 {
+		fmt.Fprintf(w, "no drift: %s == %s\n", fs.Arg(0), fs.Arg(1))
+		return 0
+	}
+	fmt.Fprintf(w, "%d drifting leaves between %s and %s:\n", len(drifts), fs.Arg(0), fs.Arg(1))
+	for _, d := range drifts {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	return 1
+}
+
+// runGolden recomputes the golden statistic digests and writes them as JSON.
+func runGolden(args []string, w, werr io.Writer) int {
+	fs := flag.NewFlagSet("ndpreport golden", flag.ContinueOnError)
+	fs.SetOutput(werr)
+	out := fs.String("out", "", "write the digests to this file (default stdout)")
+	scale := fs.Int("scale", 1, "problem-size scale factor")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		fmt.Fprintln(werr, "usage: ndpreport golden [-out file] [-scale N]")
+		return 2
+	}
+	digests, err := experiments.GoldenDigests(sim.AuditConfig(), *scale)
+	if err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 1
+	}
+	dst := w
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(werr, "ndpreport:", err)
+			return 2
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(digests); err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 1
+	}
+	return 0
+}
+
+// benchLine matches one go-test benchmark result line:
+// "BenchmarkSingleRunVADD-8   5   535806004 ns/op   ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// runBenchgate compares a benchmark run against a recorded reference,
+// failing only on slowdowns beyond the slack (speedups just warn, so a
+// faster host never breaks the gate).
+func runBenchgate(args []string, w, werr io.Writer) int {
+	fs := flag.NewFlagSet("ndpreport benchgate", flag.ContinueOnError)
+	fs.SetOutput(werr)
+	bench := fs.String("bench", "", "go test -bench output file")
+	ref := fs.String("ref", "BENCH_pr4.json", "reference record with macro.serial_ns_per_op")
+	name := fs.String("name", "BenchmarkSingleRunVADD", "benchmark to gate")
+	slack := fs.Float64("slack", 0.25, "allowed relative slowdown")
+	if err := fs.Parse(args); err != nil || *bench == "" || fs.NArg() != 0 {
+		fmt.Fprintln(werr, "usage: ndpreport benchgate -bench out.txt [-ref BENCH_pr4.json] [-name B] [-slack f]")
+		return 2
+	}
+	data, err := os.ReadFile(*bench)
+	if err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 2
+	}
+	got := -1.0
+	for _, line := range strings.Split(string(data), "\n") {
+		mm := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if mm == nil || mm[1] != *name {
+			continue
+		}
+		got, err = strconv.ParseFloat(mm[2], 64)
+		if err != nil {
+			fmt.Fprintln(werr, "ndpreport:", err)
+			return 2
+		}
+	}
+	if got < 0 {
+		fmt.Fprintf(werr, "ndpreport: no %s result in %s\n", *name, *bench)
+		return 2
+	}
+	refData, err := os.ReadFile(*ref)
+	if err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 2
+	}
+	var doc struct {
+		Macro struct {
+			SerialNsPerOp float64 `json:"serial_ns_per_op"`
+		} `json:"macro"`
+	}
+	if err := json.Unmarshal(refData, &doc); err != nil {
+		fmt.Fprintln(werr, "ndpreport:", err)
+		return 2
+	}
+	want := doc.Macro.SerialNsPerOp
+	if want <= 0 {
+		fmt.Fprintf(werr, "ndpreport: %s has no macro.serial_ns_per_op\n", *ref)
+		return 2
+	}
+	rel := got/want - 1
+	fmt.Fprintf(w, "%s: %.0f ns/op vs reference %.0f ns/op (%+.1f%%, slack ±%.0f%%)\n",
+		*name, got, want, 100*rel, 100**slack)
+	if rel > *slack {
+		fmt.Fprintf(w, "FAIL: slower than the reference beyond the slack\n")
+		return 1
+	}
+	if rel < -*slack {
+		fmt.Fprintf(w, "note: faster than the reference beyond the slack — consider refreshing %s\n", *ref)
+	}
+	fmt.Fprintln(w, "ok")
+	return 0
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", `{"x": 100, "y": {"z": [1, 2]}}`)
+	same := write(t, dir, "same.json", `{"x": 100, "y": {"z": [1, 2]}}`)
+	drift := write(t, dir, "drift.json", `{"x": 150, "y": {"z": [1, 2]}}`)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"diff", a, same}, &out, &errBuf); code != 0 {
+		t.Fatalf("self diff exit = %d, want 0 (%s)", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "no drift") {
+		t.Fatalf("missing no-drift message: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"diff", a, drift}, &out, &errBuf); code != 1 {
+		t.Fatalf("perturbed diff exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "x") {
+		t.Fatalf("drift report missing the path: %s", out.String())
+	}
+
+	// Tolerance big enough swallows the drift.
+	out.Reset()
+	if code := run([]string{"diff", "-tol", "0.5", a, drift}, &out, &errBuf); code != 0 {
+		t.Fatalf("tolerated diff exit = %d, want 0", code)
+	}
+
+	// Usage errors exit 2.
+	if code := run([]string{"diff", a}, &out, &errBuf); code != 2 {
+		t.Fatalf("missing-arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"nonsense"}, &out, &errBuf); code != 2 {
+		t.Fatalf("bad subcommand exit = %d, want 2", code)
+	}
+}
+
+func TestBenchgate(t *testing.T) {
+	dir := t.TempDir()
+	ref := write(t, dir, "ref.json", `{"macro": {"serial_ns_per_op": 1000000}}`)
+	ok := write(t, dir, "ok.txt",
+		"goos: linux\nBenchmarkSingleRunVADD-8   \t5\t1100000 ns/op\t10 B/op\nPASS\n")
+	slow := write(t, dir, "slow.txt",
+		"BenchmarkSingleRunVADD-8   \t5\t1300000 ns/op\nPASS\n")
+	fast := write(t, dir, "fast.txt",
+		"BenchmarkSingleRunVADD   \t5\t100000 ns/op\nPASS\n")
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"benchgate", "-bench", ok, "-ref", ref}, &out, &errBuf); code != 0 {
+		t.Fatalf("within-slack exit = %d, want 0 (%s %s)", code, out.String(), errBuf.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"benchgate", "-bench", slow, "-ref", ref}, &out, &errBuf); code != 1 {
+		t.Fatalf("slow exit = %d, want 1 (%s)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("missing FAIL verdict: %s", out.String())
+	}
+
+	// Faster than the slack only warns — a faster host must not break CI.
+	out.Reset()
+	if code := run([]string{"benchgate", "-bench", fast, "-ref", ref}, &out, &errBuf); code != 0 {
+		t.Fatalf("fast exit = %d, want 0 (%s)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "refreshing") {
+		t.Fatalf("missing refresh hint: %s", out.String())
+	}
+
+	// Missing benchmark line is a usage-level failure.
+	empty := write(t, dir, "empty.txt", "PASS\n")
+	if code := run([]string{"benchgate", "-bench", empty, "-ref", ref}, &out, &errBuf); code != 2 {
+		t.Fatalf("missing-result exit = %d, want 2", code)
+	}
+}
+
+func TestShowRendersMetricsRun(t *testing.T) {
+	dir := t.TempDir()
+	runJSON := write(t, dir, "run.json", `{
+ "schema": "ndpgpu-metrics/1",
+ "meta": {"workload": "VADD"},
+ "interval_cycles": 2048,
+ "period_ps": 1428,
+ "times_ps": [1000, 2000, 3000],
+ "series": [
+  {"name": "ratio", "track": "controller", "unit": "fraction", "kind": "gauge", "samples": [0.1, 0.5, 0.9]}
+ ],
+ "spans": [{"name": "offload sm0/w0 blk1", "tid": 0, "start_ps": 100, "dur_ps": 500}]
+}`)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"show", runJSON}, &out, &errBuf); code != 0 {
+		t.Fatalf("show exit = %d (%s)", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"controller/ratio", "workload=VADD", "1 offload round trips"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("show output missing %q:\n%s", want, s)
+		}
+	}
+
+	bad := write(t, dir, "bad.json", `{"schema": "other/1"}`)
+	if code := run([]string{"show", bad}, &out, &errBuf); code != 2 {
+		t.Fatalf("wrong-schema exit = %d, want 2", code)
+	}
+}

@@ -24,13 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/energy"
 	"ndpgpu/internal/fault"
+	"ndpgpu/internal/metrics"
 	"ndpgpu/internal/prof"
 	"ndpgpu/internal/report"
 	"ndpgpu/internal/sim"
@@ -38,37 +37,10 @@ import (
 	"ndpgpu/internal/workloads"
 )
 
-// ParseMode maps a CLI mode string to a sim.Mode and the configuration
-// adjustments it implies.
-func ParseMode(name string, cfg config.Config) (sim.Mode, config.Config, error) {
-	switch {
-	case name == "baseline":
-		return sim.Baseline, cfg, nil
-	case name == "morecore":
-		c := cfg
-		c.GPU.NumSMs += c.NumHMCs
-		return sim.Mode{Name: "Baseline_MoreCore"}, c, nil
-	case name == "naive":
-		return sim.NaiveNDP, cfg, nil
-	case name == "dyn":
-		return sim.DynNDP, cfg, nil
-	case name == "dyncache":
-		return sim.DynCache, cfg, nil
-	case strings.HasPrefix(name, "static="):
-		p, err := strconv.ParseFloat(strings.TrimPrefix(name, "static="), 64)
-		if err != nil || p < 0 || p > 1 {
-			return sim.Mode{}, cfg, fmt.Errorf("bad static ratio %q", name)
-		}
-		return sim.StaticNDP(p), cfg, nil
-	default:
-		return sim.Mode{}, cfg, fmt.Errorf("unknown mode %q", name)
-	}
-}
-
 func main() {
 	var (
 		workload = flag.String("workload", "VADD", "workload abbreviation (see -list)")
-		mode     = flag.String("mode", "baseline", "baseline|morecore|naive|static=<p>|dyn|dyncache")
+		mode     = flag.String("mode", "baseline", sim.ModeUsage)
 		scale    = flag.Int("scale", 1, "problem-size scale factor")
 		sms      = flag.Int("sms", 0, "override SM count (0 = Table 2 default)")
 		nsuMHz   = flag.Int("nsumhz", 0, "override NSU clock in MHz (0 = default 350)")
@@ -79,6 +51,9 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		par      = flag.Int("par", 0, "parallel tick shards (0 = serial; >1 enables the deterministic sharded executor)")
+		metricsO = flag.String("metrics", "", "write epoch-sampled metrics to this file (see -tracefmt)")
+		traceFmt = flag.String("tracefmt", "", "metrics export format: json|csv|chrome (default from -metrics extension)")
+		mInt     = flag.Int64("minterval", 0, "metrics sampling interval in SM cycles (0 = the Algorithm-1 epoch)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -123,7 +98,11 @@ func main() {
 		}
 		cfg.Fault = fc
 	}
-	m, cfg, err := ParseMode(*mode, cfg)
+	m, cfg, err := sim.ParseMode(*mode, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	mFmt, err := metrics.ParseFormat(*traceFmt, *metricsO)
 	if err != nil {
 		fatal(err)
 	}
@@ -137,9 +116,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *metricsO != "" {
+		c := machine.EnableMetrics(*mInt)
+		c.SetMeta("workload", w.Abbr)
+		c.SetMeta("mode", m.Name)
+	}
 	res, err := machine.Run(0)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsO != "" {
+		f, err := os.Create(*metricsO)
+		if err != nil {
+			fatal(err)
+		}
+		if err := machine.Metrics().Snapshot().Write(f, mFmt); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *verify {
 		if err := w.Verify(); err != nil {

@@ -11,14 +11,18 @@
 // A failing experiment no longer aborts the sweep: the remaining
 // experiments still run (dependents of the failed one are skipped), a
 // FAILURES section lists every error, and the exit status is nonzero.
+// An unknown -exp name exits with status 2 and lists the valid names.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"ndpgpu/internal/config"
@@ -42,26 +46,76 @@ func writeCSV(dir, name string, t *report.Table) error {
 	return t.WriteCSV(f)
 }
 
+// leafExp is one standalone design-space experiment with no dependents; the
+// table is package-level (rather than inlined in run) so tests can append a
+// deliberately failing entry and exercise the FAILURES path end to end.
+type leafExp struct {
+	name string
+	fn   func(io.Writer, int) error
+}
+
+var leafExps = []leafExp{
+	{"morecompute", experiments.MoreCompute},
+	{"nsufreq", experiments.NSUFreq},
+	{"rocache", experiments.ROCacheAblation},
+	{"topology", experiments.TopologyAblation},
+}
+
+// knownExps returns every accepted -exp value, sorted.
+func knownExps() []string {
+	names := []string{"all", "table1", "table2", "overhead", "fig5",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "inval"}
+	for _, l := range leafExps {
+		names = append(names, l.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole sweep behind a testable seam: parse args, run the selected
+// experiments, and return the process exit status (0 success, 1 experiment
+// failures, 2 usage errors).
+func run(args []string, w, werr io.Writer) int {
+	fs := flag.NewFlagSet("ndpsweep", flag.ContinueOnError)
+	fs.SetOutput(werr)
 	var (
-		exp     = flag.String("exp", "all", "experiment to run")
-		scale   = flag.Int("scale", 1, "problem-size scale factor")
-		audit   = flag.Bool("audit", false, "preflight the invariant audit suite before the sweep")
-		faults  = flag.String("faults", "", "fault schedule applied to every run (see README)")
-		csvDir  = flag.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
-		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations per experiment")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		mtxProf = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
-		blkProf = flag.String("blockprofile", "", "write a blocking profile to this file on exit")
+		exp     = fs.String("exp", "all", "experiment to run (see command doc)")
+		scale   = fs.Int("scale", 1, "problem-size scale factor")
+		audit   = fs.Bool("audit", false, "preflight the invariant audit suite before the sweep")
+		faults  = fs.String("faults", "", "fault schedule applied to every run (see README)")
+		csvDir  = fs.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
+		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations per experiment")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		mtxProf = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blkProf = fs.String("blockprofile", "", "write a blocking profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	valid := false
+	for _, n := range knownExps() {
+		if *exp == n {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		fmt.Fprintf(werr, "ndpsweep: unknown experiment %q (valid: %s)\n",
+			*exp, strings.Join(knownExps(), " "))
+		return 2
+	}
 
 	stopProf, err := prof.StartOpts(prof.Options{
 		CPU: *cpuProf, Mem: *memProf, Mutex: *mtxProf, Block: *blkProf})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ndpsweep:", err)
-		os.Exit(1)
+		fmt.Fprintln(werr, "ndpsweep:", err)
+		return 1
 	}
 	defer stopProf()
 	experiments.Jobs = *jobs
@@ -70,12 +124,11 @@ func main() {
 	if *faults != "" {
 		fc, err := fault.Parse(*faults, cfg.NumHMCs, cfg.HMC.NumVaults)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ndpsweep: bad -faults schedule:", err)
-			os.Exit(1)
+			fmt.Fprintln(werr, "ndpsweep: bad -faults schedule:", err)
+			return 2
 		}
 		cfg.Fault = fc
 	}
-	w := os.Stdout
 	start := time.Now()
 
 	need := func(names ...string) bool {
@@ -98,7 +151,7 @@ func main() {
 		if err == nil {
 			return true
 		}
-		fmt.Fprintf(os.Stderr, "ndpsweep: %s: %v\n", name, err)
+		fmt.Fprintf(werr, "ndpsweep: %s: %v\n", name, err)
 		failures = append(failures, fmt.Sprintf("%s: %v", name, err))
 		return false
 	}
@@ -125,12 +178,12 @@ func main() {
 				} else if !r.MemMatch && detail == "" {
 					detail = "memory differs from the reference interpreter"
 				}
-				fmt.Fprintf(os.Stderr, "ndpsweep: audit %s/%s: %s\n", r.Workload, r.Mode, detail)
+				fmt.Fprintf(werr, "ndpsweep: audit %s/%s: %s\n", r.Workload, r.Mode, detail)
 			}
 		}
 		if bad > 0 {
-			fmt.Fprintf(os.Stderr, "ndpsweep: audit preflight: %d of %d legs failed\n", bad, n)
-			os.Exit(1)
+			fmt.Fprintf(werr, "ndpsweep: audit preflight: %d of %d legs failed\n", bad, n)
+			return 1
 		}
 		fmt.Fprintf(w, "[audit preflight: %d legs clean]\n", n)
 	}
@@ -196,17 +249,10 @@ func main() {
 			skip("fig10", "fig11", "inval")
 		}
 	}
-	if need("morecompute") {
-		check("morecompute", experiments.MoreCompute(w, *scale))
-	}
-	if need("nsufreq") {
-		check("nsufreq", experiments.NSUFreq(w, *scale))
-	}
-	if need("rocache") {
-		check("rocache", experiments.ROCacheAblation(w, *scale))
-	}
-	if need("topology") {
-		check("topology", experiments.TopologyAblation(w, *scale))
+	for _, l := range leafExps {
+		if need(l.name) {
+			check(l.name, l.fn(w, *scale))
+		}
 	}
 	if runs, wall := experiments.RunTally(); runs > 0 {
 		fmt.Fprintf(w, "\n[%s in %.1fs: %d runs, %.1fs run-wall total, %.2fs/run avg, -j %d]\n",
@@ -220,6 +266,7 @@ func main() {
 		for _, f := range failures {
 			fmt.Fprintf(w, "  %s\n", f)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

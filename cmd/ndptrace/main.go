@@ -23,28 +23,18 @@ import (
 func main() {
 	var (
 		workload = flag.String("workload", "VADD", "workload abbreviation")
-		mode     = flag.String("mode", "naive", "baseline|naive|dyn|dyncache")
+		mode     = flag.String("mode", "naive", sim.ModeUsage)
 		smID     = flag.Int("sm", -1, "filter to this SM's warp (-1 = no filter)")
 		warpID   = flag.Int("warp", 0, "warp slot for -sm filtering")
 		max      = flag.Int("max", 100, "maximum events to retain")
 	)
 	flag.Parse()
 
-	var m sim.Mode
-	switch *mode {
-	case "baseline":
-		m = sim.Baseline
-	case "naive":
-		m = sim.NaiveNDP
-	case "dyn":
-		m = sim.DynNDP
-	case "dyncache":
-		m = sim.DynCache
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
-	}
-
 	cfg := config.Default()
+	m, cfg, err := sim.ParseMode(*mode, cfg)
+	if err != nil {
+		fatal(err)
+	}
 	mem := vm.New(cfg)
 	w, err := workloads.Build(*workload, mem, 1)
 	if err != nil {

@@ -48,11 +48,19 @@ type BufferManager struct {
 	quarantined []bool
 
 	Rejects int64 // reservation attempts denied for lack of credits
+
+	// rejects splits Rejects by target NSU — the per-stack credit-stall
+	// series of the metrics layer. Reservations are sequenced in SM index
+	// order under the parallel executor, so the split is deterministic.
+	rejects []int64
 }
 
 // NewBufferManager builds the manager for the configured NSU buffer sizes.
 func NewBufferManager(cfg config.Config) *BufferManager {
-	m := &BufferManager{credits: make([][numBufferKinds]int, cfg.NumHMCs)}
+	m := &BufferManager{
+		credits: make([][numBufferKinds]int, cfg.NumHMCs),
+		rejects: make([]int64, cfg.NumHMCs),
+	}
 	m.initial[CmdBuffer] = cfg.NSU.CmdEntries
 	m.initial[ReadDataBuffer] = cfg.NSU.ReadDataEntries
 	m.initial[WriteAddrBuffer] = cfg.NSU.WriteAddrEntries
@@ -67,11 +75,13 @@ func NewBufferManager(cfg config.Config) *BufferManager {
 func (m *BufferManager) Reserve(target, numLD, numST int) bool {
 	if m.quarantined != nil && m.quarantined[target] {
 		m.Rejects++
+		m.rejects[target]++
 		return false
 	}
 	c := &m.credits[target]
 	if c[CmdBuffer] < 1 || c[ReadDataBuffer] < numLD || c[WriteAddrBuffer] < numST {
 		m.Rejects++
+		m.rejects[target]++
 		return false
 	}
 	c[CmdBuffer]--
@@ -106,6 +116,9 @@ func (m *BufferManager) Initial(kind BufferKind) int { return m.initial[kind] }
 
 // NumTargets returns the number of NSUs the manager tracks.
 func (m *BufferManager) NumTargets() int { return len(m.credits) }
+
+// TargetRejects returns the reservation attempts denied for target's buffers.
+func (m *BufferManager) TargetRejects(target int) int64 { return m.rejects[target] }
 
 // AllReturned reports whether every NSU's credits are back at their initial
 // values — the quiescence invariant checked after each run. Quarantined

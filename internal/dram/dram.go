@@ -48,6 +48,11 @@ type VaultStats struct {
 	Precharges       int64
 	QueueFullRejects int64
 	Refreshes        int64
+	// BusyCycles counts DRAM clocks on which the vault had work: a queued
+	// request, a completion retiring this edge, or a refresh firing. Idle
+	// skipping only ever retires edges where none of those hold, so the
+	// count is identical under dense and skipped execution.
+	BusyCycles int64
 }
 
 // Vault is one vault controller.
@@ -102,10 +107,12 @@ func (v *Vault) Pending() int { return len(v.queue) + len(v.done) }
 // schedule at most one command using FR-FCFS (first ready — i.e. open-row
 // hit — first-come-first-served otherwise).
 func (v *Vault) Tick(now timing.PS) {
+	busy := len(v.queue) > 0
 	// Retire completions.
 	kept := v.done[:0]
 	for _, c := range v.done {
 		if c.at <= now {
+			busy = true
 			if c.req.IsWrite {
 				v.Stats.Writes++
 			} else {
@@ -123,6 +130,7 @@ func (v *Vault) Tick(now timing.PS) {
 	// All-bank refresh every tREFI: close the rows and block the vault for
 	// tRFC (disabled when tREFI is zero).
 	if v.cfg.TREFIps > 0 && now >= v.nextRefresh {
+		busy = true
 		v.nextRefresh += timing.PS(v.cfg.TREFIps)
 		v.refreshing = now + timing.PS(v.cfg.TRFCps)
 		for i := range v.banks {
@@ -135,6 +143,9 @@ func (v *Vault) Tick(now timing.PS) {
 		if v.aud != nil {
 			v.aud.OnRefresh(now, v.refreshing)
 		}
+	}
+	if busy {
+		v.Stats.BusyCycles++
 	}
 	if now < v.refreshing {
 		return

@@ -160,7 +160,7 @@ func TestComputeTable(t *testing.T) {
 				wantDRAM := p.ActivatePJ*float64(s.DRAMActivations) +
 					p.RowRWPJPerB*lineB*float64(s.DRAMReads+s.DRAMWrites)
 				for _, c := range []struct {
-					comp string
+					comp      string
 					got, want float64
 				}{
 					{"GPU", e.GPU, wantGPU}, {"NSU", e.NSU, wantNSU},

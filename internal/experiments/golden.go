@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ndpgpu/internal/config"
+	"ndpgpu/internal/sim"
+)
+
+// goldenModes are the modes the golden-digest regression gate pins for every
+// workload: the host baseline plus both NDP offload mechanisms.
+var goldenModes = []sim.Mode{sim.Baseline, sim.NaiveNDP, sim.DynNDP}
+
+// GoldenDigests runs every Table 1 workload under the golden modes and
+// returns one flattened counter digest per run, keyed "workload|mode". Each
+// digest is the reflection-walked statistics bundle (so a newly added counter
+// is pinned automatically) plus the simulated end time and total energy. The
+// simulator is deterministic, so any digest change is a behavior change.
+func GoldenDigests(cfg config.Config, scale int) (map[string]map[string]float64, error) {
+	var jobs []job
+	for _, wl := range Workloads() {
+		for _, m := range goldenModes {
+			jobs = append(jobs, job{workload: wl, mode: m, cfg: cfg})
+		}
+	}
+	runs := runAll(jobs, scale)
+	if err := checkErrs(runs); err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]float64, len(runs))
+	for key, r := range runs {
+		d := r.Stats.Digest()
+		d["TimePS"] = float64(r.TimePS)
+		d["EnergyTotalPJ"] = r.Energy.Total()
+		out[key] = d
+	}
+	return out, nil
+}
+
+// GoldenKey names one golden-digest entry.
+func GoldenKey(workload, mode string) string {
+	return fmt.Sprintf("%s|%s", workload, mode)
+}

@@ -21,9 +21,9 @@ func TestBackoff(t *testing.T) {
 		{100, 3, 800},
 		{2000, 0, 2000},
 		{2000, 3, 16000},
-		{100, -5, 100},      // negative attempts clamp to the first try
-		{1, 20, 1 << 16},    // shift clamps at 16
-		{1, 1000, 1 << 16},  // far past the clamp
+		{100, -5, 100},     // negative attempts clamp to the first try
+		{1, 20, 1 << 16},   // shift clamps at 16
+		{1, 1000, 1 << 16}, // far past the clamp
 		{30000, 16, 30000 << 16},
 	}
 	for _, c := range cases {
@@ -39,11 +39,11 @@ func TestTotalWindow(t *testing.T) {
 		maxRetries int
 		want       int64
 	}{
-		{100, 0, 100},           // single attempt, no retry
-		{100, 1, 300},           // 100 + 200
-		{100, 3, 1500},          // 100 + 200 + 400 + 800
-		{2000, 3, 30000},        // the chaos-suite knobs
-		{30000, 3, 450000},      // the defaults
+		{100, 0, 100},      // single attempt, no retry
+		{100, 1, 300},      // 100 + 200
+		{100, 3, 1500},     // 100 + 200 + 400 + 800
+		{2000, 3, 30000},   // the chaos-suite knobs
+		{30000, 3, 450000}, // the defaults
 	}
 	for _, c := range cases {
 		if got := TotalWindow(c.base, c.maxRetries); got != c.want {
@@ -113,21 +113,21 @@ func TestParse(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		"bogus:t=1:hmc=0",                     // unknown kind
-		"linkdown:hmc=0:dim=0",                // missing t
-		"linkdown:t=x:hmc=0",                  // bad integer
-		"linkdown:t=1:hmc=9:dim=0",            // hmc out of range (8 stacks)
-		"linkdown:t=1",                        // hmc missing -> -1 out of range
-		"nsustall:t=1:hmc=0",                  // stall must be windowed
+		"bogus:t=1:hmc=0",                      // unknown kind
+		"linkdown:hmc=0:dim=0",                 // missing t
+		"linkdown:t=x:hmc=0",                   // bad integer
+		"linkdown:t=1:hmc=9:dim=0",             // hmc out of range (8 stacks)
+		"linkdown:t=1",                         // hmc missing -> -1 out of range
+		"nsustall:t=1:hmc=0",                   // stall must be windowed
 		"vaultfreeze:t=1:hmc=0:vault=99:dur=5", // vault out of range (16 vaults)
-		"vaultfreeze:t=1:hmc=0:vault=0",       // freeze must be windowed
-		"drop",                                // missing p
-		"drop:p=1.5",                          // probability out of [0,1]
-		"corrupt:p=abc",                       // bad float
-		"seed=xyz",                            // bad seed
-		"timeout=0",                           // timeout must be positive
-		"retries=-1",                          // retries must be positive
-		"linkdown:t=1:hmc=0:dim",              // malformed field (no '=')
+		"vaultfreeze:t=1:hmc=0:vault=0",        // freeze must be windowed
+		"drop",                                 // missing p
+		"drop:p=1.5",                           // probability out of [0,1]
+		"corrupt:p=abc",                        // bad float
+		"seed=xyz",                             // bad seed
+		"timeout=0",                            // timeout must be positive
+		"retries=-1",                           // retries must be positive
+		"linkdown:t=1:hmc=0:dim",               // malformed field (no '=')
 	}
 	for _, spec := range cases {
 		if _, err := Parse(spec, 8, 16); err == nil {

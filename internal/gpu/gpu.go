@@ -27,6 +27,14 @@ type accessRecorder interface {
 	RecordTransfer(blockID int, bytes int)
 }
 
+// SpanSink receives completed offload round trips (metrics.Collector
+// implements it). Spans are buffered per SM and drained in SM index order at
+// tick granularity, so the delivery order is deterministic in both the
+// serial and the sharded parallel executor.
+type SpanSink interface {
+	OffloadSpan(sm, warp, block int, start, dur timing.PS)
+}
+
 // GPU is the host processor.
 type GPU struct {
 	cfg  config.Config
@@ -75,6 +83,11 @@ type GPU struct {
 	flt           *fault.Injector
 	timeoutCycles int64 // first-attempt offload ack timeout, SM cycles
 	maxRetries    int
+
+	// spanSink, when non-nil, receives offload round-trip durations (the
+	// metrics layer). SMs buffer spans locally; the GPU drains the buffers
+	// in SM index order after each tick's commit.
+	spanSink SpanSink
 }
 
 // New wires up a GPU over the given fabric and memory.
@@ -283,6 +296,72 @@ func (g *GPU) Tick(now timing.PS) {
 		g.regionInstrs = 0
 		g.st.RatioTrace = append(g.st.RatioTrace, g.dec.Ratio())
 	}
+	if g.spanSink != nil {
+		g.drainSpans()
+	}
+}
+
+// SetSpanSink attaches the offload round-trip consumer (metrics layer).
+func (g *GPU) SetSpanSink(s SpanSink) { g.spanSink = s }
+
+// drainSpans forwards buffered offload spans to the sink in SM index order,
+// the same order the serial executor would have produced them in.
+func (g *GPU) drainSpans() {
+	for i, sm := range g.sms {
+		for _, sp := range sm.spans {
+			g.spanSink.OffloadSpan(i, sp.warp, sp.block, sp.start, sp.dur)
+		}
+		sm.spans = sm.spans[:0]
+	}
+}
+
+// DrainSpans flushes any spans still buffered on the SMs (called once at run
+// finalization, before the metrics collector takes its final sample).
+func (g *GPU) DrainSpans() {
+	if g.spanSink != nil {
+		g.drainSpans()
+	}
+}
+
+// SMOffloadCounters returns SM i's monotonic offload-decision counters: blocks
+// whose OFLDBEG the SM reached, and the subset the decider sent to an NSU.
+// They are maintained unconditionally on the SM (plain integer adds beside the
+// statistics counters) so enabling metrics cannot perturb simulation results.
+func (g *GPU) SMOffloadCounters(i int) (seen, sent int64) {
+	return g.sms[i].mSeen, g.sms[i].mSent
+}
+
+// L1DSnapshot sums the per-SM L1D counters without flushing deferred idle
+// cycles — a side-effect-free mid-run read for the metrics sampler. Hit and
+// access counts are exact at tick granularity; only NoIssue classification
+// lags, which the snapshot does not expose.
+func (g *GPU) L1DSnapshot() stats.CacheStats {
+	var l1 stats.CacheStats
+	for _, sm := range g.sms {
+		c := sm.l1.Stats
+		l1.Accesses += c.Accesses
+		l1.Hits += c.Hits
+		l1.MSHRStalls += c.MSHRStalls
+		l1.Evictions += c.Evictions
+		l1.Fills += c.Fills
+		l1.Invalidations += c.Invalidations
+	}
+	return l1
+}
+
+// L2Snapshot sums the per-slice L2 counters (side-effect-free mid-run read).
+func (g *GPU) L2Snapshot() stats.CacheStats {
+	var l2 stats.CacheStats
+	for _, s := range g.slices {
+		c := s.tags.Stats
+		l2.Accesses += c.Accesses
+		l2.Hits += c.Hits
+		l2.MSHRStalls += c.MSHRStalls
+		l2.Evictions += c.Evictions
+		l2.Fills += c.Fills
+		l2.Invalidations += c.Invalidations
+	}
+	return l2
 }
 
 // tickParallel runs one SM clock as a compute/commit pair. The serial
@@ -349,7 +428,7 @@ func (g *GPU) NextWorkAt(now timing.PS) timing.PS {
 			wake = w
 		}
 	}
-	boundary := (g.cycles/g.cfg.NDP.EpochCycles + 1) * g.cfg.NDP.EpochCycles * g.smPeriod
+	boundary := timing.NextBoundary(g.cycles, g.cfg.NDP.EpochCycles, g.smPeriod)
 	if boundary < wake {
 		wake = boundary
 	}

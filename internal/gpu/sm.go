@@ -50,6 +50,15 @@ type offCtx struct {
 	regSnap  *[isa.NumRegs][core.WarpWidth]uint64
 }
 
+// offSpan records one completed offload round trip (OFLDBEG issue to ack
+// application) for the metrics layer's duration-event export.
+type offSpan struct {
+	warp  int
+	block int
+	start timing.PS
+	dur   timing.PS
+}
+
 // coreBlock caches the analyzer block plus derived info the SM needs often.
 type coreBlock struct {
 	id          int
@@ -210,6 +219,18 @@ type SM struct {
 	// crossbar-phase ack deliveries); GPU.Tick folds it into the epoch
 	// counter before every epoch check, in both modes.
 	regionInstrs int64
+
+	// mSeen/mSent mirror the offload decision counters for the metrics
+	// sampler. They are unconditional plain adds (not gated on a collector)
+	// so enabling metrics cannot change simulation behavior, and per-SM so
+	// the parallel compute phase never contends on them.
+	mSeen int64
+	mSent int64
+
+	// spans buffers completed offload round trips for the metrics span sink;
+	// GPU.drainSpans empties it in SM index order each tick. nil-capacity
+	// and never appended to while no sink is attached.
+	spans []offSpan
 
 	// Prologue-to-tick handoff in parallel mode: the CTA launch (which
 	// consumes the shared grid cursor) runs in the serial prologue and the
@@ -1553,6 +1574,7 @@ func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 	blk := s.g.blocks[in.BlockID]
 	if in.Op == isa.OFLDBEG {
 		s.st.OffloadBlocksSeen++
+		s.mSeen++
 		if s.decide(blk.id) {
 			if len(s.pendingQ) >= s.g.cfg.NDP.PendingEntries {
 				s.st.PendingBufStalls++
@@ -1560,6 +1582,7 @@ func (s *SM) execOffload(w *warp, in isa.Instr, now timing.PS) bool {
 				return false
 			}
 			s.st.OffloadBlocksOffloaded++
+			s.mSent++
 			ctx := &offCtx{block: blk, id: core.OffloadID{SM: int32(s.id), Warp: int32(w.slot)}, began: now}
 			if s.g.flt != nil {
 				s.instSeq[w.slot]++
@@ -1760,6 +1783,14 @@ func (s *SM) applyAck(w *warp, ack *core.AckPacket, now timing.PS) {
 	blk := w.off.block
 	s.st.AckLatencySumPS += int64(now - w.off.began)
 	s.st.AckLatencyCount++
+	if s.g.spanSink != nil {
+		s.spans = append(s.spans, offSpan{
+			warp:  int(ack.ID.Warp),
+			block: blk.id,
+			start: w.off.began,
+			dur:   now - w.off.began,
+		})
+	}
 	if s.g.flt != nil {
 		// The instance is consumed; drop its commit-board record so the
 		// board stays bounded by the in-flight offload count.

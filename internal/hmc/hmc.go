@@ -298,6 +298,21 @@ func (h *HMC) VaultStats() dram.VaultStats {
 		agg.Precharges += s.Precharges
 		agg.QueueFullRejects += s.QueueFullRejects
 		agg.Refreshes += s.Refreshes
+		agg.BusyCycles += s.BusyCycles
 	}
 	return agg
+}
+
+// NumVaults returns the stack's vault count (the busy-fraction denominator).
+func (h *HMC) NumVaults() int { return len(h.vaults) }
+
+// QueueDepth returns the stack's total backlog: requests queued or in flight
+// at every vault plus entries in the retry-overflow queue. A metrics gauge;
+// side-effect free.
+func (h *HMC) QueueDepth() int {
+	d := len(h.overflow)
+	for _, v := range h.vaults {
+		d += v.Pending()
+	}
+	return d
 }

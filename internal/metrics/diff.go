@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Drift is one numeric leaf that differs between two JSON documents beyond
+// its tolerance, or a leaf present on only one side.
+type Drift struct {
+	Path    string
+	A, B    float64
+	Rel     float64 // relative difference |a-b| / max(|a|,|b|,1)
+	Missing string  // "a" or "b" when the leaf exists on one side only
+}
+
+// String renders the drift for the diff report.
+func (d Drift) String() string {
+	if d.Missing != "" {
+		have, val := "a", d.A
+		if d.Missing == "a" {
+			have, val = "b", d.B
+		}
+		return fmt.Sprintf("%-40s only in %s (%g)", d.Path, have, val)
+	}
+	return fmt.Sprintf("%-40s a=%g b=%g (rel %.4g)", d.Path, d.A, d.B, d.Rel)
+}
+
+// Tolerances maps a path prefix to a relative tolerance; the longest
+// matching prefix wins, and Default applies when none matches.
+type Tolerances struct {
+	Default  float64
+	ByPrefix map[string]float64
+}
+
+// forPath resolves the tolerance for one leaf path.
+func (t Tolerances) forPath(p string) float64 {
+	best, bestLen := t.Default, -1
+	for prefix, tol := range t.ByPrefix {
+		if strings.HasPrefix(p, prefix) && len(prefix) > bestLen {
+			best, bestLen = tol, len(prefix)
+		}
+	}
+	return best
+}
+
+// flatten walks an unmarshaled JSON document and collects every numeric leaf
+// into out, keyed by a dotted/bracketed path ("stats.NoIssue[2]").
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			flatten(prefix+"["+strconv.Itoa(i)+"]", child, out)
+		}
+	case float64:
+		out[prefix] = x
+	case bool:
+		b := 0.0
+		if x {
+			b = 1
+		}
+		out[prefix] = b
+	}
+	// Strings and nulls are identity/annotation fields, not measurements.
+}
+
+// DiffJSON compares the numeric leaves of two JSON documents under the given
+// per-path tolerances and returns every drift, sorted by path. Any two
+// documents with numeric content diff — metrics runs, golden stat digests,
+// benchmark records.
+func DiffJSON(a, b []byte, tol Tolerances) ([]Drift, error) {
+	var da, db any
+	if err := json.Unmarshal(a, &da); err != nil {
+		return nil, fmt.Errorf("first input: %w", err)
+	}
+	if err := json.Unmarshal(b, &db); err != nil {
+		return nil, fmt.Errorf("second input: %w", err)
+	}
+	fa := map[string]float64{}
+	fb := map[string]float64{}
+	flatten("", da, fa)
+	flatten("", db, fb)
+
+	paths := make([]string, 0, len(fa)+len(fb))
+	for p := range fa {
+		paths = append(paths, p)
+	}
+	for p := range fb {
+		if _, ok := fa[p]; !ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	var drifts []Drift
+	for _, p := range paths {
+		va, oka := fa[p]
+		vb, okb := fb[p]
+		switch {
+		case !oka:
+			drifts = append(drifts, Drift{Path: p, B: vb, Missing: "a"})
+		case !okb:
+			drifts = append(drifts, Drift{Path: p, A: va, Missing: "b"})
+		default:
+			if va == vb {
+				continue
+			}
+			den := math.Max(math.Max(math.Abs(va), math.Abs(vb)), 1)
+			rel := math.Abs(va-vb) / den
+			if rel > tol.forPath(p) {
+				drifts = append(drifts, Drift{Path: p, A: va, B: vb, Rel: rel})
+			}
+		}
+	}
+	return drifts, nil
+}

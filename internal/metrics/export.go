@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Schema identifies the metrics-run JSON layout.
+const Schema = "ndpgpu-metrics/1"
+
+// Series is one exported probe: its identity and one sample per interval.
+type Series struct {
+	Name    string    `json:"name"`
+	Track   string    `json:"track"`
+	Unit    string    `json:"unit,omitempty"`
+	Kind    string    `json:"kind"`
+	Samples []float64 `json:"samples"`
+}
+
+// Run is the exportable snapshot of a collector: every series over the
+// common timestamp axis, plus the offload round-trip spans.
+type Run struct {
+	Schema         string            `json:"schema"`
+	Meta           map[string]string `json:"meta,omitempty"`
+	IntervalCycles int64             `json:"interval_cycles"`
+	PeriodPS       int64             `json:"period_ps"`
+	TimesPS        []int64           `json:"times_ps"`
+	Series         []Series          `json:"series"`
+	Spans          []Span            `json:"spans,omitempty"`
+	SpansDropped   int64             `json:"spans_dropped,omitempty"`
+}
+
+// Snapshot freezes the collector into an exportable Run. The probe order,
+// sample values, timestamps, and span order are all deterministic, so two
+// bit-identical simulations produce byte-identical exports.
+func (c *Collector) Snapshot() *Run {
+	times := make([]int64, len(c.times))
+	for i, t := range c.times {
+		times[i] = int64(t)
+	}
+	r := &Run{
+		Schema:         Schema,
+		IntervalCycles: c.interval,
+		PeriodPS:       int64(c.period),
+		TimesPS:        times,
+		Spans:          append([]Span(nil), c.spans...),
+		SpansDropped:   c.spansDropped,
+	}
+	if len(c.meta) > 0 {
+		r.Meta = make(map[string]string, len(c.meta))
+		for k, v := range c.meta {
+			r.Meta[k] = v
+		}
+	}
+	for i, p := range c.probes {
+		r.Series = append(r.Series, Series{
+			Name:    p.name,
+			Track:   p.track,
+			Unit:    p.unit,
+			Kind:    p.kind.String(),
+			Samples: append([]float64(nil), c.samples[i]...),
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the run as indented JSON. Map keys are marshaled sorted,
+// so the output is byte-deterministic.
+func (r *Run) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the run as a wide CSV: one row per sample time, one column
+// per series (counters as per-interval deltas, gauges/rates as sampled).
+func (r *Run) WriteCSV(w io.Writer) error {
+	cols := make([]string, 0, len(r.Series)+1)
+	cols = append(cols, "time_ps")
+	for _, s := range r.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for row, t := range r.TimesPS {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d", t)
+		for _, s := range r.Series {
+			v := 0.0
+			if row < len(s.Samples) {
+				v = s.Samples[row]
+			}
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace-event JSON entry (the subset Perfetto and
+// chrome://tracing read: metadata "M", counter "C", and complete "X" events;
+// timestamps in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome process ids: counter tracks are grouped per component track under
+// pid 1; offload round-trip spans live under pid 2 with one thread per SM.
+const (
+	chromePIDCounters = 1
+	chromePIDSpans    = 2
+)
+
+// WriteChrome writes the run in Chrome trace-event JSON, loadable in
+// Perfetto: one counter track per series (grouped per component track) and
+// one complete-duration event per offload round trip, tid = issuing SM.
+func (r *Run) WriteChrome(w io.Writer) error {
+	evs := []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: chromePIDCounters,
+			Args: map[string]any{"name": "ndpgpu metrics"}},
+		{Name: "process_name", Ph: "M", PID: chromePIDSpans,
+			Args: map[string]any{"name": "offload round trips"}},
+	}
+	for _, s := range r.Series {
+		for i, v := range s.Samples {
+			if i >= len(r.TimesPS) {
+				break
+			}
+			evs = append(evs, chromeEvent{
+				Name: s.Track + "/" + s.Name,
+				Ph:   "C",
+				PID:  chromePIDCounters,
+				TS:   float64(r.TimesPS[i]) / 1e6,
+				Args: map[string]any{"value": v},
+			})
+		}
+	}
+	for _, sp := range r.Spans {
+		dur := float64(sp.DurPS) / 1e6
+		evs = append(evs, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			PID:  chromePIDSpans,
+			TID:  sp.TID,
+			TS:   float64(sp.StartPS) / 1e6,
+			Dur:  &dur,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}
+
+// Format names one export layout.
+type Format string
+
+// Export formats accepted by -tracefmt.
+const (
+	FormatJSON   Format = "json"
+	FormatCSV    Format = "csv"
+	FormatChrome Format = "chrome"
+)
+
+// ParseFormat validates a -tracefmt value, defaulting from the output file
+// extension when the value is empty.
+func ParseFormat(name, path string) (Format, error) {
+	switch name {
+	case "json":
+		return FormatJSON, nil
+	case "csv":
+		return FormatCSV, nil
+	case "chrome":
+		return FormatChrome, nil
+	case "":
+		if strings.HasSuffix(path, ".csv") {
+			return FormatCSV, nil
+		}
+		return FormatJSON, nil
+	default:
+		return "", fmt.Errorf("unknown metrics format %q (valid: json|csv|chrome)", name)
+	}
+}
+
+// Write exports the run in the given format.
+func (r *Run) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatJSON:
+		return r.WriteJSON(w)
+	case FormatCSV:
+		return r.WriteCSV(w)
+	case FormatChrome:
+		return r.WriteChrome(w)
+	default:
+		return fmt.Errorf("unknown metrics format %q", f)
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import "strings"
+
+// sparkBlocks are the eight vertical-bar glyphs a sparkline is quantized to.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the samples as a fixed-width ASCII/Unicode strip,
+// normalized to the series' own min..max. Longer series are downsampled by
+// averaging equal slices; shorter ones render one glyph per sample. A flat
+// (or empty) series renders as a low bar so zero activity reads as zero.
+func Sparkline(samples []float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if len(samples) == 0 {
+		return strings.Repeat(string(sparkBlocks[0]), width)
+	}
+	vals := samples
+	if len(samples) > width {
+		vals = make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(samples) / width
+			hi := (i + 1) * len(samples) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range samples[lo:hi] {
+				sum += v
+			}
+			vals[i] = sum / float64(hi-lo)
+		}
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(sparkBlocks)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkBlocks) {
+				idx = len(sparkBlocks) - 1
+			}
+		}
+		b.WriteRune(sparkBlocks[idx])
+	}
+	return b.String()
+}

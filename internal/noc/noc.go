@@ -50,6 +50,11 @@ func (l *Link) Send(now timing.PS, size int) timing.PS {
 // BusyUntil returns the time the link next becomes free.
 func (l *Link) BusyUntil() timing.PS { return l.busyUntil }
 
+// PSPerByte returns the link's serialization cost in picoseconds per byte
+// (the utilization scale factor: Δbytes × PSPerByte / Δt is the busy
+// fraction of the interval).
+func (l *Link) PSPerByte() float64 { return l.psPerByte }
+
 // Delivery is a message sitting in an inbox with its arrival time.
 type Delivery struct {
 	At  timing.PS
@@ -321,6 +326,24 @@ func NewFabric(cfg config.Config, st *stats.Stats) *Fabric {
 
 // NumHMCs returns the HMC count.
 func (f *Fabric) NumHMCs() int { return f.numHMCs }
+
+// ForEachLink invokes fn on every physical link direction in a fixed order:
+// the GPU's off-chip links (both directions per HMC), then the memory-network
+// links (per HMC, per dimension). The metrics layer snapshots the list once
+// at attach time; fn must not mutate.
+func (f *Fabric) ForEachLink(fn func(name string, l *Link)) {
+	for i, l := range f.gpuToHMC {
+		fn(fmt.Sprintf("gpu-hmc%d", i), l)
+	}
+	for i, l := range f.hmcToGPU {
+		fn(fmt.Sprintf("hmc%d-gpu", i), l)
+	}
+	for i, dims := range f.mesh {
+		for d, l := range dims {
+			fn(fmt.Sprintf("mesh%d.d%d", i, d), l)
+		}
+	}
+}
 
 // SetTracer installs a packet observer (nil disables tracing).
 func (f *Fabric) SetTracer(t Tracer) { f.tracer = t }

@@ -78,7 +78,7 @@ type nsuWarp struct {
 	// written in-place block (read-modify-write on the same lines) could
 	// never be replayed correctly.
 	stBuf []*core.WritePacket
-	regs    map[isa.Reg]*[core.WarpWidth]uint64
+	regs  map[isa.Reg]*[core.WarpWidth]uint64
 	// written tracks which lanes each register was produced for, so the
 	// acknowledgment ships only meaningful values.
 	written map[isa.Reg]uint32
@@ -991,6 +991,10 @@ func (n *NSU) Busy() bool {
 func (n *NSU) BufferOccupancy() (cmd, rd, wt int) {
 	return len(n.cmdQ), len(n.rd), len(n.wt)
 }
+
+// Slots returns the number of hardware warp contexts — the occupancy
+// denominator for the Figure 11 metric and the metrics layer's gauge.
+func (n *NSU) Slots() int { return len(n.warps) }
 
 // Occupied returns the number of active warp slots (Figure 11 metric).
 func (n *NSU) Occupied() int {

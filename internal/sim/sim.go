@@ -15,6 +15,7 @@ import (
 	"ndpgpu/internal/gpu"
 	"ndpgpu/internal/hmc"
 	"ndpgpu/internal/kernel"
+	"ndpgpu/internal/metrics"
 	"ndpgpu/internal/noc"
 	"ndpgpu/internal/nsu"
 	"ndpgpu/internal/stats"
@@ -67,8 +68,9 @@ type Machine struct {
 	pool     *timing.Pool
 	shardSts []*stats.Stats
 
-	aud *audit.Auditor // nil unless EnableAudit was called
-	flt *fault.Injector // nil unless the config carries a fault schedule
+	aud *audit.Auditor     // nil unless EnableAudit was called
+	flt *fault.Injector    // nil unless the config carries a fault schedule
+	mc  *metrics.Collector // nil unless EnableMetrics was called
 
 	swaps     []*pageSwap
 	SwapsDone int
@@ -518,6 +520,13 @@ func (m *Machine) Run(limitPS timing.PS) (*Result, error) {
 }
 
 func (m *Machine) finalize() {
+	// The metrics collector takes its final sample before anything below
+	// mutates the main bundle: its probes sum the main bundle plus every
+	// shard bundle, so folding shards first would double-count the deltas.
+	if m.mc != nil {
+		m.g.DrainSpans()
+		m.mc.Final(m.engine.Now())
+	}
 	m.St.SMCycles = m.smDomain.Cycles
 	m.St.NSUCycles = m.nsuDomain.Cycles
 	m.St.ElapsedPS = m.engine.Now()

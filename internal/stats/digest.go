@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Digest flattens the statistics bundle into a name → value map: every
+// integer counter, every enum-indexed array element, and the nested cache
+// bundles, discovered by reflection so a counter added to Stats is
+// automatically covered by the golden-digest regression gate. Float series
+// (RatioTrace) contribute their length, final value, and mean — compact but
+// drift-sensitive. All values come from deterministic simulation state, so
+// two bit-identical runs produce identical digests.
+func (s *Stats) Digest() map[string]float64 {
+	out := make(map[string]float64, 64)
+	digestValue("", reflect.ValueOf(*s), out)
+	return out
+}
+
+func digestValue(prefix string, v reflect.Value, out map[string]float64) {
+	switch v.Kind() {
+	case reflect.Int64:
+		out[prefix] = float64(v.Int())
+	case reflect.Float64:
+		out[prefix] = v.Float()
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			name := t.Field(i).Name
+			if prefix != "" {
+				name = prefix + "." + name
+			}
+			digestValue(name, v.Field(i), out)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			digestValue(fmt.Sprintf("%s[%d]", prefix, i), v.Index(i), out)
+		}
+	case reflect.Slice:
+		if v.Type().Elem().Kind() == reflect.Float64 {
+			// A sampled series: summarize rather than pin every epoch.
+			n := v.Len()
+			out[prefix+".len"] = float64(n)
+			if n > 0 {
+				var sum float64
+				for i := 0; i < n; i++ {
+					sum += v.Index(i).Float()
+				}
+				out[prefix+".final"] = v.Index(n - 1).Float()
+				out[prefix+".mean"] = sum / float64(n)
+			}
+			return
+		}
+		for i := 0; i < v.Len(); i++ {
+			digestValue(fmt.Sprintf("%s[%d]", prefix, i), v.Index(i), out)
+		}
+	}
+}

@@ -313,3 +313,12 @@ func (e *Engine) RunUntil(done func() bool, limitPS PS) (steps int64, ok bool) {
 
 // CyclesAt converts a picosecond timestamp to whole cycles of the domain.
 func (d *Domain) CyclesAt(t PS) int64 { return int64(t / d.PeriodPS) }
+
+// NextBoundary returns the absolute time of the first multiple-of-interval
+// cycle boundary strictly after the given cycle count — the wake time for
+// components with fixed cycle-counted timers (the epoch controller, the
+// metrics sampler). Reporting it from NextWorkAt guarantees idle skipping
+// never retires a boundary edge.
+func NextBoundary(cycles, interval int64, period PS) PS {
+	return (cycles/interval + 1) * interval * period
+}

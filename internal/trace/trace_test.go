@@ -74,6 +74,69 @@ func TestStringRendering(t *testing.T) {
 	}
 }
 
+// TestRingWraparound drives the ring through multiple full wraps and checks
+// that exactly the newest max events survive, in arrival order, with Total
+// still counting every observation.
+func TestRingWraparound(t *testing.T) {
+	const max, n = 4, 11
+	r := NewRecorder(max)
+	for i := 0; i < n; i++ {
+		r.Observe(int64(i), "gpu->hmc0", 16, &core.ReadReq{LineAddr: uint64(i)})
+	}
+	if r.Total() != n {
+		t.Fatalf("total = %d, want %d", r.Total(), n)
+	}
+	evs := r.Events()
+	if len(evs) != max {
+		t.Fatalf("retained = %d, want %d", len(evs), max)
+	}
+	for i, ev := range evs {
+		if want := int64(n - max + i); ev.At != want {
+			t.Fatalf("event %d at %d, want %d (ring out of order: %+v)", i, ev.At, want, evs)
+		}
+	}
+}
+
+// TestFilteredEventsDontConsumeRingSlots interleaves accepted and rejected
+// events through a wrapping ring: the filter runs before ring insertion, so a
+// rejected event must neither occupy a slot, evict an older accepted event,
+// nor count toward Total.
+func TestFilteredEventsDontConsumeRingSlots(t *testing.T) {
+	const max = 3
+	r := NewRecorder(max)
+	r.Filter = FilterWarp(0, 0)
+	keep := core.OffloadID{SM: 0, Warp: 0}
+	drop := core.OffloadID{SM: 0, Warp: 1}
+	at := int64(0)
+	observe := func(id core.OffloadID) int64 {
+		at++
+		r.Observe(at, "gpu->hmc0", 16, &core.CmdPacket{ID: id})
+		return at
+	}
+	var kept []int64
+	for i := 0; i < 5; i++ {
+		kept = append(kept, observe(keep))
+		observe(drop) // must be invisible to the ring
+		observe(drop)
+	}
+	if r.Total() != int64(len(kept)) {
+		t.Fatalf("total = %d, want %d accepted events", r.Total(), len(kept))
+	}
+	evs := r.Events()
+	if len(evs) != max {
+		t.Fatalf("retained = %d, want %d", len(evs), max)
+	}
+	want := kept[len(kept)-max:]
+	for i, ev := range evs {
+		if ev.At != want[i] {
+			t.Fatalf("retained[%d].At = %d, want %d (rejected events consumed slots?)", i, ev.At, want[i])
+		}
+		if !ev.HasID || ev.ID != keep {
+			t.Fatalf("retained[%d] = %+v, want only sm0/w0 packets", i, ev)
+		}
+	}
+}
+
 func TestDefaultCapacity(t *testing.T) {
 	r := NewRecorder(0)
 	if r.max != 4096 {
