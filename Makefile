@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-scaling bench-smoke test-parallel golden golden-update clean
+.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke test-parallel test-parallel-fused golden golden-update clean
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ lint:
 # `make audit` when the memory system or protocol changed) before sending
 # a change out.
 check: build vet test-short
-	$(GO) test -race -short ./internal/sim ./internal/noc ./internal/timing
+	$(GO) test -race -short -timeout 20m ./internal/sim ./internal/noc ./internal/timing
 
 # Invariant audit: every Table 1 workload under baseline, naive-NDP, and
 # dynamic-NDP with all runtime invariant checkers enabled (internal/audit),
@@ -67,21 +67,31 @@ bench:
 bench-engine:
 	$(GO) test -run '^$$' -bench BenchmarkEngineIdleSkip -benchmem ./internal/timing
 
-# Parallel-executor scaling: the serial reference, then the sharded executor
-# at 1/2/4/8 worker threads. Results are bit-identical across all legs by
-# the determinism contract (see README "Parallel execution"); only wall time
-# moves. Recorded numbers: BENCH_pr4.json.
+# Barrier-tax micro benchmarks: per-phase executor cost over 72 empty shards
+# at each fusion width, and quiescent-phase elision on a mostly-idle machine.
+# Recorded numbers: BENCH_pr6.json.
+bench-barrier:
+	$(GO) test -run '^$$' -bench 'BenchmarkPhaseBarrier|BenchmarkQuiescentBatch' -benchmem ./internal/timing
+
+# Parallel-executor scaling curve: serial reference plus the sharded executor
+# across a GOMAXPROCS x fusion-width grid, emitted as scaling_curve.json
+# (schema ndpgpu-scaling-v1; uploaded as a CI artifact). Results are
+# bit-identical across all legs by the determinism contract (see README
+# "Parallel execution"); only wall time moves. Recorded numbers:
+# BENCH_pr6.json.
 bench-scaling:
-	$(GO) test -run '^$$' -bench 'BenchmarkSingleRunVADD$$' -benchtime 3x .
-	for n in 1 2 4 8; do \
-		GOMAXPROCS=$$n $(GO) test -run '^$$' -bench BenchmarkSingleRunVADDParallel -benchtime 3x . ; \
-	done
+	$(GO) run ./cmd/ndpreport scaling -out scaling_curve.json
+	@echo "scaling_curve.json written"
 
 # Determinism contract of the sharded executor: every workload x mode leg
 # bit-identical serial vs parallel, plus audited and chaos legs, under the
-# race detector.
+# race detector. The fused matrix (fusion widths x quiescence batching) is
+# its own target so CI can run the two suites in parallel.
 test-parallel:
-	$(GO) test -race -run 'TestParallelEquivalence' -timeout 45m ./internal/sim
+	$(GO) test -race -run '^TestParallelEquivalence(Audited|Chaos)?$$' -timeout 45m ./internal/sim
+
+test-parallel-fused:
+	$(GO) test -race -run '^TestParallelEquivalenceFused' -timeout 45m ./internal/sim
 
 # Golden-digest regression gate: recompute the per-workload x mode statistic
 # digests (deterministic) and diff them against the committed file. Any drift
@@ -100,7 +110,7 @@ golden-update:
 # reference (fails only on slowdowns; a faster host just warns).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSingleRunVADD$$' -benchmem -benchtime 1x . | tee bench_smoke.txt
-	$(GO) run ./cmd/ndpreport benchgate -bench bench_smoke.txt -ref BENCH_pr4.json
+	$(GO) run ./cmd/ndpreport benchgate -bench bench_smoke.txt -ref BENCH_pr6.json
 
 clean:
 	$(GO) clean ./...

@@ -11,7 +11,10 @@
 // Modes: baseline, morecore, naive, static=<p>, dyn, dyncache.
 //
 // -par N shards the simulation across N worker threads with bit-identical
-// results (see README "Parallel execution"); 0 (the default) runs serially.
+// results (see README "Parallel execution"). 0 (the default) picks
+// min(NumCPU, shard count) automatically; 1 forces the serial engine.
+// -fuse bounds the supershard count (0 = auto) and -nobatch disables
+// quiescence-batched phases, mainly for the scaling experiments.
 //
 // -audit runs the invariant audit suite instead of a single simulation:
 // every Table 1 workload under baseline, naive-NDP, and dynamic-NDP with
@@ -24,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
@@ -50,7 +54,9 @@ func main() {
 		audit    = flag.Bool("audit", false, "run the full invariant audit suite and exit")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
-		par      = flag.Int("par", 0, "parallel tick shards (0 = serial; >1 enables the deterministic sharded executor)")
+		par      = flag.Int("par", 0, "parallel workers (0 = auto: min(NumCPU, shard count); 1 = serial; >1 = deterministic sharded executor)")
+		fuse     = flag.Int("fuse", 0, "supershard count for the parallel executor (0 = auto: min(workers, NumCPU))")
+		noBatch  = flag.Bool("nobatch", false, "disable quiescence-batched phases in the parallel executor")
 		metricsO = flag.String("metrics", "", "write epoch-sampled metrics to this file (see -tracefmt)")
 		traceFmt = flag.String("tracefmt", "", "metrics export format: json|csv|chrome (default from -metrics extension)")
 		mInt     = flag.Int64("minterval", 0, "metrics sampling interval in SM cycles (0 = the Algorithm-1 epoch)")
@@ -82,6 +88,12 @@ func main() {
 
 	cfg := config.Default()
 	cfg.Parallel = *par
+	cfg.FusionWidth = *fuse
+	cfg.NoQuiescentBatch = *noBatch
+	if *par > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "ndpsim: warning: -par %d exceeds the %d available CPUs; extra workers only add barrier overhead\n",
+			*par, runtime.NumCPU())
+	}
 	if *sms > 0 {
 		cfg.GPU.NumSMs = *sms
 	}

@@ -254,10 +254,10 @@ func run(args []string, w, werr io.Writer) int {
 			check(l.name, l.fn(w, *scale))
 		}
 	}
-	if runs, wall := experiments.RunTally(); runs > 0 {
-		fmt.Fprintf(w, "\n[%s in %.1fs: %d runs, %.1fs run-wall total, %.2fs/run avg, -j %d]\n",
+	if runs, wall, max, p50 := experiments.RunTallyDetail(); runs > 0 {
+		fmt.Fprintf(w, "\n[%s in %.1fs: %d runs, %.1fs run-wall total, %.2fs/run avg, %.2fs max, %.2fs p50, -j %d]\n",
 			*exp, time.Since(start).Seconds(), runs, wall.Seconds(),
-			wall.Seconds()/float64(runs), *jobs)
+			wall.Seconds()/float64(runs), max.Seconds(), p50.Seconds(), *jobs)
 	} else {
 		fmt.Fprintf(w, "\n[%s in %.1fs]\n", *exp, time.Since(start).Seconds())
 	}

@@ -33,17 +33,37 @@ func Workloads() []string { return workloads.Abbrs() }
 var Jobs int
 
 // tally accumulates wall-clock cost across every RunOneWith call so sweeps
-// can report per-run cost alongside the total (atomics: runs execute on the
-// runAll worker pool).
+// can report per-run cost alongside the total (atomics for the hot counters,
+// a mutex-guarded slice for the distribution: runs execute on the runAll
+// worker pool).
 var tally struct {
 	runs   atomic.Int64
 	wallNS atomic.Int64
+	mu     sync.Mutex
+	durs   []time.Duration
 }
 
 // RunTally reports how many simulations have completed in this process and
 // their summed wall-clock time.
 func RunTally() (runs int64, wall time.Duration) {
 	return tally.runs.Load(), time.Duration(tally.wallNS.Load())
+}
+
+// RunTallyDetail extends RunTally with the per-run distribution: the longest
+// single run (the critical path a -j pool cannot shrink below) and the median
+// run. Zero durations when no runs have completed.
+func RunTallyDetail() (runs int64, total, max, p50 time.Duration) {
+	runs = tally.runs.Load()
+	total = time.Duration(tally.wallNS.Load())
+	tally.mu.Lock()
+	durs := make([]time.Duration, len(tally.durs))
+	copy(durs, tally.durs)
+	tally.mu.Unlock()
+	if len(durs) == 0 {
+		return runs, total, 0, 0
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return runs, total, durs[len(durs)-1], durs[len(durs)/2]
 }
 
 // Run is one completed simulation.
@@ -82,6 +102,9 @@ func RunOneWith(cfg config.Config, abbr string, mode sim.Mode, scale int, prep f
 		run.Wall = time.Since(start)
 		tally.runs.Add(1)
 		tally.wallNS.Add(int64(run.Wall))
+		tally.mu.Lock()
+		tally.durs = append(tally.durs, run.Wall)
+		tally.mu.Unlock()
 	}()
 	mem := vm.New(cfg)
 	w, err := workloads.Build(abbr, mem, scale)

@@ -71,11 +71,17 @@ type GPU struct {
 	// pool the SM compute phase runs on, the sequencer that releases
 	// order-sensitive operations (decider calls, credit reservations) in SM
 	// index order, and whether a compute phase is currently active (routes
-	// SM-side effects into shard-local buffers). ca/decPure cache what kind
-	// of decider is attached so the per-decision dispatch is a flag test.
+	// SM-side effects into shard-local buffers). fusion is the supershard
+	// count for pool dispatch; quiesce elides the dispatch entirely on
+	// phases with fewer than two busy SMs (the inline schedule is the
+	// serial loop itself, so results are identical by construction).
+	// ca/decPure cache what kind of decider is attached so the
+	// per-decision dispatch is a flag test.
 	pool    *timing.Pool
 	seq     *timing.Sequencer
 	smPhase bool
+	fusion  int
+	quiesce bool
 	ca      *core.CacheAware
 	decPure bool
 
@@ -230,15 +236,25 @@ func (g *GPU) sliceFor(line uint64) *l2slice { return g.slices[g.mem.HMCOf(line)
 // pool: per-SM statistics bundles, fabric outboxes, WTA in-flight deltas, and
 // (for the cache-aware decider) profile shards replace the shared structures,
 // and everything folds back deterministically at tick barriers or run
-// finalization. Returns false — leaving the SM phase serial — when the NSU
-// read-only-cache mirror is enabled, whose shared directory the SMs mutate on
-// their hot path.
-func (g *GPU) SetParallel(pool *timing.Pool) bool {
+// finalization. fusion folds the SMs into that many supershards for pool
+// dispatch (clamped to [1, NumSMs]); quiesce enables barrier elision on
+// phases with fewer than two busy SMs. Returns false — leaving the SM phase
+// serial — when the NSU read-only-cache mirror is enabled, whose shared
+// directory the SMs mutate on their hot path.
+func (g *GPU) SetParallel(pool *timing.Pool, fusion int, quiesce bool) bool {
 	if g.nsuDir != nil {
 		return false
 	}
 	g.pool = pool
 	g.seq = timing.NewSequencer(len(g.sms))
+	if fusion < 1 {
+		fusion = 1
+	}
+	if fusion > len(g.sms) {
+		fusion = len(g.sms)
+	}
+	g.fusion = fusion
+	g.quiesce = quiesce
 	switch g.dec.(type) {
 	case core.Never, core.Always:
 		g.decPure = true
@@ -368,14 +384,20 @@ func (g *GPU) L2Snapshot() stats.CacheStats {
 // prologue performs each SM's CTA launch in index order — the shared grid
 // cursor advances exactly as the serial loop would, and each SM freezes its
 // post-launch cursor snapshot for idle certification. The compute phase then
-// ticks every SM concurrently (cross-shard effects defer into per-SM buffers;
-// rare order-sensitive operations run through the sequencer at their serial
-// position), and the commit phase replays the buffers in SM index order.
+// ticks every SM, fused into supershards on the worker pool (cross-shard
+// effects defer into per-SM buffers; rare order-sensitive operations run
+// through the sequencer at their serial position) — or inline on the
+// coordinating goroutine when fewer than two SMs are busy (quiescent-phase
+// elision: the inline schedule is the serial loop, so nothing observable
+// changes and no workers are woken). The commit phase replays the buffers in
+// SM index order either way.
 func (g *GPU) tickParallel(now timing.PS) {
+	busy := 0
 	for _, s := range g.sms {
 		if s.idleValid && s.idleWake > now {
 			continue // the tick takes the idle fast path: no launch attempt
 		}
+		busy++
 		s.flushIdle()
 		s.idleValid = false
 		pre := g.nextCTA
@@ -386,10 +408,17 @@ func (g *GPU) tickParallel(now timing.PS) {
 	}
 	g.seq.Begin(len(g.sms))
 	g.smPhase = true
-	g.pool.Run(len(g.sms), func(i int) {
-		g.sms[i].tick(now)
-		g.seq.Finish(i)
-	})
+	if (g.quiesce && busy < 2) || g.fusion <= 1 {
+		for i := range g.sms {
+			g.sms[i].tick(now)
+			g.seq.Finish(i)
+		}
+	} else {
+		g.pool.RunFused(len(g.sms), g.fusion, func(i int) {
+			g.sms[i].tick(now)
+			g.seq.Finish(i)
+		})
+	}
 	g.smPhase = false
 	for _, s := range g.sms {
 		s.commit()

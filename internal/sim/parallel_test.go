@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -23,7 +24,8 @@ type parLeg struct {
 
 // runParLeg runs one workload/mode with the given Parallel degree and
 // returns the observable outcome. The functional output is verified against
-// the host reference in every leg.
+// the host reference in every leg. Serial reference legs pass par=1
+// explicitly: 0 now means "auto" and would go parallel on multi-core hosts.
 func runParLeg(t *testing.T, cfg config.Config, abbr string, mode Mode, par int, withAudit bool) parLeg {
 	t.Helper()
 	cfg.Parallel = par
@@ -91,7 +93,7 @@ func TestParallelEquivalence(t *testing.T) {
 		for _, mode := range modes {
 			abbr, mode := abbr, mode
 			t.Run(abbr+"/"+mode.Name, func(t *testing.T) {
-				serial := runParLeg(t, cfg, abbr, mode, 0, false)
+				serial := runParLeg(t, cfg, abbr, mode, 1, false)
 				par := runParLeg(t, cfg, abbr, mode, 4, false)
 				requireIdentical(t, abbr+"/"+mode.Name, serial, par)
 			})
@@ -100,7 +102,7 @@ func TestParallelEquivalence(t *testing.T) {
 	// Plain Dynamic (no cache filter): the PRNG-draw sequencing without
 	// profile folding.
 	t.Run("VADD/NDP(Dyn)", func(t *testing.T) {
-		serial := runParLeg(t, cfg, "VADD", DynNDP, 0, false)
+		serial := runParLeg(t, cfg, "VADD", DynNDP, 1, false)
 		par := runParLeg(t, cfg, "VADD", DynNDP, 4, false)
 		requireIdentical(t, "VADD/NDP(Dyn)", serial, par)
 	})
@@ -111,7 +113,7 @@ func TestParallelEquivalence(t *testing.T) {
 // modes (zero violations, identical statistics).
 func TestParallelEquivalenceAudited(t *testing.T) {
 	cfg := AuditConfig()
-	serial := runParLeg(t, cfg, "VADD", NaiveNDP, 0, true)
+	serial := runParLeg(t, cfg, "VADD", NaiveNDP, 1, true)
 	par := runParLeg(t, cfg, "VADD", NaiveNDP, 4, true)
 	if serial.violations != 0 || par.violations != 0 {
 		t.Fatalf("audit violations: serial=%d parallel=%d, want 0", serial.violations, par.violations)
@@ -139,7 +141,7 @@ func TestParallelEquivalenceChaos(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Fault = fc
-	serial := runParLeg(t, cfg, "VADD", NaiveNDP, 0, true)
+	serial := runParLeg(t, cfg, "VADD", NaiveNDP, 1, true)
 	par := runParLeg(t, cfg, "VADD", NaiveNDP, 4, true)
 	if serial.violations != 0 || par.violations != 0 {
 		t.Fatalf("audit violations: serial=%d parallel=%d, want 0", serial.violations, par.violations)
@@ -148,4 +150,139 @@ func TestParallelEquivalenceChaos(t *testing.T) {
 		t.Fatal("chaos leg fired no timeouts; schedule inert")
 	}
 	requireIdentical(t, "chaos VADD/NaiveNDP", serial, par)
+}
+
+// fusedVariants is the tentpole acceptance matrix: every pinned fusion width
+// from fully fused (1 supershard, always inline) to fully unfused (72, one
+// shard per barrier participant — clamped per domain), crossed with
+// quiescence batching on and off. Widths > 1 force real worker goroutines
+// even on single-CPU hosts (the auto width would fold to 1 there), so the
+// race detector sees genuine cross-goroutine schedules in every environment.
+var fusedVariants = []struct {
+	width   int
+	nobatch bool
+}{
+	{1, false}, {1, true},
+	{2, false}, {2, true},
+	{4, false}, {4, true},
+	{72, false}, {72, true},
+}
+
+func fusedName(width int, nobatch bool) string {
+	batch := "batch"
+	if nobatch {
+		batch = "nobatch"
+	}
+	return fmt.Sprintf("fuse=%d/%s", width, batch)
+}
+
+// TestParallelEquivalenceFused extends the determinism contract across the
+// fusion/batching matrix: for representative workload x mode legs (covering
+// the pure, PRNG-sequenced, and profile-folding decider kinds), a Parallel=4
+// run at every pinned fusion width with quiescence batching on and off must
+// be bit-identical to the serial reference.
+func TestParallelEquivalenceFused(t *testing.T) {
+	cfg := smallConfig()
+	legs := []struct {
+		abbr string
+		mode Mode
+	}{
+		{"VADD", DynCache},
+		{"BFS", NaiveNDP},
+		{"VADD", DynNDP},
+	}
+	variants := fusedVariants
+	if testing.Short() {
+		// Short mode is a smoke: one leg, one fused width per batching
+		// setting. The full matrix runs in `make test-parallel-fused`.
+		legs = legs[:1]
+		variants = []struct {
+			width   int
+			nobatch bool
+		}{{2, false}, {72, true}}
+	}
+	for _, l := range legs {
+		serial := runParLeg(t, cfg, l.abbr, l.mode, 1, false)
+		for _, v := range variants {
+			v := v
+			name := l.abbr + "/" + l.mode.Name + "/" + fusedName(v.width, v.nobatch)
+			t.Run(name, func(t *testing.T) {
+				c := cfg
+				c.FusionWidth = v.width
+				c.NoQuiescentBatch = v.nobatch
+				par := runParLeg(t, c, l.abbr, l.mode, 4, false)
+				requireIdentical(t, name, serial, par)
+			})
+		}
+	}
+}
+
+// TestParallelEquivalenceFusedAudited reruns the audited leg across the
+// fusion/batching matrix: every invariant checker must observe identical
+// post-commit state at every width.
+func TestParallelEquivalenceFusedAudited(t *testing.T) {
+	cfg := AuditConfig()
+	serial := runParLeg(t, cfg, "VADD", NaiveNDP, 1, true)
+	variants := fusedVariants
+	if testing.Short() {
+		variants = variants[2:3] // fuse=2, batch on
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(fusedName(v.width, v.nobatch), func(t *testing.T) {
+			c := cfg
+			c.FusionWidth = v.width
+			c.NoQuiescentBatch = v.nobatch
+			par := runParLeg(t, c, "VADD", NaiveNDP, 4, true)
+			if serial.violations != 0 || par.violations != 0 {
+				t.Fatalf("audit violations: serial=%d parallel=%d, want 0",
+					serial.violations, par.violations)
+			}
+			requireIdentical(t, "audited "+fusedName(v.width, v.nobatch), serial, par)
+		})
+	}
+}
+
+// TestParallelEquivalenceFusedChaos reruns the frozen-vault chaos leg with a
+// fused executor: the sequenced recovery decisions (timeouts, retries) must
+// land at their serial positions inside supershards too.
+func TestParallelEquivalenceFusedChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos x fusion matrix runs in make test-parallel-fused; the unfused chaos leg already covers -short")
+	}
+	cfg := AuditConfig()
+	var spec string
+	for _, s := range PinnedSchedules() {
+		if s.Name == "frozen-vault" {
+			spec = s.Spec
+		}
+	}
+	if spec == "" {
+		t.Fatal("frozen-vault schedule not found")
+	}
+	fc, err := ChaosFaultConfig(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fault = fc
+	serial := runParLeg(t, cfg, "VADD", NaiveNDP, 1, true)
+	if serial.st.OffloadTimeouts == 0 {
+		t.Fatal("chaos leg fired no timeouts; schedule inert")
+	}
+	for _, v := range []struct {
+		width   int
+		nobatch bool
+	}{{2, false}, {2, true}} {
+		v := v
+		t.Run(fusedName(v.width, v.nobatch), func(t *testing.T) {
+			c := cfg
+			c.FusionWidth = v.width
+			c.NoQuiescentBatch = v.nobatch
+			par := runParLeg(t, c, "VADD", NaiveNDP, 4, true)
+			if par.violations != 0 {
+				t.Fatalf("audit violations: %d, want 0", par.violations)
+			}
+			requireIdentical(t, "chaos "+fusedName(v.width, v.nobatch), serial, par)
+		})
+	}
 }

@@ -63,8 +63,10 @@ type Machine struct {
 	smDomain  *timing.Domain
 	nsuDomain *timing.Domain
 
-	// Parallel execution (cfg.Parallel > 1): the worker pool and the
-	// per-stack shard statistics bundles, folded into St at finalization.
+	// Parallel execution (effective Parallel > 1): the resolved worker
+	// count, the worker pool, and the per-stack shard statistics bundles,
+	// folded into St at finalization.
+	par      int
 	pool     *timing.Pool
 	shardSts []*stats.Stats
 
@@ -168,7 +170,8 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, dec core.Dec
 	xbar.Attach(m.g.XbarTicker())
 	dramDom := m.engine.AddDomain("dram", timing.PS(cfg.HMC.TCKps))
 	m.nsuDomain = m.engine.AddDomain("nsu", timing.PeriodFromMHz(cfg.NSU.ClockMHz))
-	if cfg.Parallel > 1 {
+	m.par = cfg.EffParallel(cfg.GPU.NumSMs + cfg.NumHMCs)
+	if m.par > 1 {
 		m.assembleParallel(dramDom)
 	} else {
 		for _, h := range m.hmcs {
@@ -183,7 +186,7 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, dec core.Dec
 		// Pins SM edges at schedule boundaries so fault windows take effect
 		// at exact cycles even under idle skipping.
 		m.smDomain.Attach(fault.Ticker{Inj: m.flt})
-		if cfg.Parallel > 1 {
+		if m.par > 1 {
 			// Apply the schedule before any domain ticks, so the in-phase
 			// fault queries from concurrent shards are read-only.
 			m.engine.AddPreStep(func(now timing.PS) { m.flt.Apply(now) })
@@ -214,6 +217,10 @@ func newStackShard(t timing.Ticker, out *noc.Outbox) *stackShard {
 func (s *stackShard) Tick(now timing.PS)   { s.inner.Tick(now) }
 func (s *stackShard) Commit(now timing.PS) { s.out.Flush() }
 
+// PendingCommit implements timing.CommitPending: the quiescent-phase proof
+// must treat a stack with deferred sends in its outbox as active.
+func (s *stackShard) PendingCommit() int { return s.out.Pending() }
+
 func (s *stackShard) NextWorkAt(now timing.PS) timing.PS {
 	if s.hint == nil {
 		return now
@@ -232,11 +239,13 @@ func (s *stackShard) SkipIdle(n int64) {
 // bundle and a deferred-effect outbox, the dram and nsu domains tick their
 // shards on a shared worker pool, and the GPU's SM array switches to its own
 // compute/commit split (unless the NSU read-only-cache mirror pins it
-// serial). Everything folds back at barriers or finalization, so results
-// stay bit-identical to the serial engine.
+// serial). Shard fusion and quiescent-phase batching are resolved from the
+// configuration per domain. Everything folds back at barriers or
+// finalization, so results stay bit-identical to the serial engine.
 func (m *Machine) assembleParallel(dramDom *timing.Domain) {
-	m.pool = timing.NewPool(m.Cfg.Parallel)
-	m.g.SetParallel(m.pool)
+	m.pool = timing.NewPool(m.par)
+	quiesce := !m.Cfg.NoQuiescentBatch
+	m.g.SetParallel(m.pool, m.Cfg.EffFusion(m.par, m.Cfg.GPU.NumSMs), quiesce)
 	hshards := make([]timing.Shard, 0, len(m.hmcs))
 	nshards := make([]timing.Shard, 0, len(m.nsus))
 	for i := range m.hmcs {
@@ -252,8 +261,15 @@ func (m *Machine) assembleParallel(dramDom *timing.Domain) {
 		hshards = append(hshards, newStackShard(m.hmcs[i], out))
 		nshards = append(nshards, newStackShard(m.nsus[i], out))
 	}
-	dramDom.Attach(timing.NewSharded(m.pool, hshards...))
-	m.nsuDomain.Attach(timing.NewSharded(m.pool, nshards...))
+	stackFusion := m.Cfg.EffFusion(m.par, len(m.hmcs))
+	hsh := timing.NewSharded(m.pool, hshards...)
+	hsh.SetFusion(stackFusion)
+	hsh.SetQuiescent(quiesce)
+	dramDom.Attach(hsh)
+	nsh := timing.NewSharded(m.pool, nshards...)
+	nsh.SetFusion(stackFusion)
+	nsh.SetQuiescent(quiesce)
+	m.nsuDomain.Attach(nsh)
 }
 
 // swapTicker drives serviceSwaps on the SM clock with an idle hint: with no

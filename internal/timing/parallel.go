@@ -21,9 +21,28 @@
 // waits until every lower-indexed shard has finished its whole tick, which is
 // exactly the point at which serial execution would have reached it.
 //
-// Both mechanisms make parallel execution bit-identical to serial execution;
-// TestParallelEquivalence proves it the same way TestIdleSkipEquivalence
-// proved idle skipping.
+// Three mechanisms keep the per-phase constant factor down without touching
+// the determinism contract:
+//
+//   - Shard fusion (RunFused): the shards of a domain fold into a small
+//     number of supershards, each running its members' compute sections in
+//     ascending shard-index order. Commit replay and sequenced-operation
+//     order are unchanged — a supershard is just the serial loop over a
+//     contiguous index range — while barrier participants drop from the
+//     shard count to the supershard count.
+//   - Quiescent-phase elision (Sharded, SetQuiescent): when at most one
+//     shard can do work this phase (all others prove idleness via IdleHint
+//     and hold no deferred cross-shard effects), the phase runs inline on
+//     the coordinating goroutine in ascending index order — semantically
+//     the serial algorithm itself — and no workers are woken. A shard with
+//     a pending outbox op is never certified quiescent, so the proof can
+//     never elide a barrier that has something to replay.
+//   - Spin-then-park wake-ups (Pool): workers watch an atomic phase epoch,
+//     spinning briefly before parking on a channel, so back-to-back phases
+//     avoid a scheduler round trip per worker per cycle.
+//
+// All of it is bit-identical to serial execution; TestParallelEquivalence
+// proves it the same way TestIdleSkipEquivalence proved idle skipping.
 package timing
 
 import (
@@ -32,23 +51,49 @@ import (
 	"sync/atomic"
 )
 
+// poolSpin bounds how many cooperative yields a worker (or the phase caller)
+// spends watching for state changes before parking on a channel. On a
+// single-CPU host spinning only steals time from the goroutine being waited
+// on, so the pool parks immediately there.
+func poolSpin() int {
+	if runtime.NumCPU() <= 1 {
+		return 0
+	}
+	return 128
+}
+
 // Pool is a persistent worker pool for compute phases. Run dispatches items
 // in index order (item i never starts before item j<i has been claimed),
 // which the Sequencer's deadlock-freedom argument relies on. The calling
 // goroutine participates as a worker, so a Pool of size n uses n-1 background
-// goroutines, started lazily on first use.
+// goroutines, started lazily on first dispatch.
+//
+// Phases are published through an atomic epoch counter: Run installs the
+// batch, bumps the epoch, and wakes only the workers that have parked;
+// workers that are still spinning from the previous phase pick the new epoch
+// up without any scheduler interaction.
 type Pool struct {
 	workers int
+	spin    int
 	once    sync.Once
-	work    chan *batch
-	quit    chan struct{}
+	epoch   atomic.Uint64
+	cur     atomic.Pointer[batch]
+	parked  atomic.Int64
+	quit    atomic.Bool
+	wake    chan struct{}
 }
 
+// batch is one published compute phase. left counts unfinished items; the
+// phase caller spins on it briefly and then parks on done (the worker that
+// retires the last item signals it only when the caller declared itself
+// waiting, so the common fast path sends nothing).
 type batch struct {
-	n    int
-	f    func(int)
-	next atomic.Int64
-	wg   sync.WaitGroup
+	n       int
+	f       func(int)
+	next    atomic.Int64
+	left    atomic.Int64
+	waiting atomic.Bool
+	done    chan struct{}
 }
 
 // NewPool returns a pool that runs compute phases on up to `workers`
@@ -57,27 +102,51 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers}
+	return &Pool{workers: workers, spin: poolSpin()}
 }
 
 // Workers returns the configured parallelism degree.
 func (p *Pool) Workers() int { return p.workers }
 
 func (p *Pool) start() {
-	p.work = make(chan *batch)
-	p.quit = make(chan struct{})
-	work, quit := p.work, p.quit
+	p.wake = make(chan struct{}, p.workers-1)
 	for i := 0; i < p.workers-1; i++ {
-		go func() {
-			for {
-				select {
-				case b := <-work:
-					b.drain()
-				case <-quit:
-					return
-				}
+		go p.worker()
+	}
+}
+
+// worker is the background loop: spin on the phase epoch, park when nothing
+// arrives, drain the current batch when it does.
+func (p *Pool) worker() {
+	var seen uint64
+	for {
+		for spun := 0; ; spun++ {
+			if e := p.epoch.Load(); e != seen {
+				seen = e
+				break
 			}
-		}()
+			if spun < p.spin {
+				runtime.Gosched()
+				continue
+			}
+			// Park. Registering in parked before re-checking the epoch
+			// closes the lost-wakeup race: the publisher bumps the epoch
+			// and then reads parked, so (seq-cst) at least one side sees
+			// the other — either we observe the new epoch here, or the
+			// publisher observes us parked and sends a token.
+			p.parked.Add(1)
+			if p.epoch.Load() == seen {
+				<-p.wake
+			}
+			p.parked.Add(-1)
+			spun = 0
+		}
+		if p.quit.Load() {
+			return
+		}
+		if b := p.cur.Load(); b != nil {
+			b.drain()
+		}
 	}
 }
 
@@ -88,7 +157,12 @@ func (b *batch) drain() {
 			return
 		}
 		b.f(i)
-		b.wg.Done()
+		if b.left.Add(-1) == 0 && b.waiting.Load() {
+			select {
+			case b.done <- struct{}{}:
+			default:
+			}
+		}
 	}
 }
 
@@ -107,32 +181,81 @@ func (p *Pool) Run(n int, f func(int)) {
 		return
 	}
 	p.once.Do(p.start)
-	b := &batch{n: n, f: f}
-	b.wg.Add(n)
-	helpers := p.workers - 1
-	if helpers > n-1 {
-		helpers = n - 1
-	}
-	for i := 0; i < helpers; i++ {
-		select {
-		case p.work <- b:
-		default:
-			// All background workers are busy (they never are between
-			// phases, but don't block if one is slow to park).
-			i = helpers
+	b := &batch{n: n, f: f, done: make(chan struct{}, 1)}
+	b.left.Store(int64(n))
+	p.cur.Store(b)
+	p.epoch.Add(1)
+	if parked := p.parked.Load(); parked > 0 {
+		need := int64(n - 1)
+		if need > parked {
+			need = parked
+		}
+		for i := int64(0); i < need; i++ {
+			select {
+			case p.wake <- struct{}{}:
+			default:
+			}
 		}
 	}
 	b.drain() // the caller works too
-	b.wg.Wait()
+	for spun := 0; b.left.Load() > 0; spun++ {
+		if spun < p.spin {
+			runtime.Gosched()
+			continue
+		}
+		b.waiting.Store(true)
+		if b.left.Load() == 0 {
+			break
+		}
+		<-b.done
+		break
+	}
+}
+
+// RunFused executes f(0..n-1) folded into `groups` supershards: group g runs
+// the contiguous index range [g*n/groups, (g+1)*n/groups) in ascending order
+// as one pool item. Because groups are claimed in index order and members run
+// ascending within each group, the set of *started* shard indices is always a
+// union of complete lower groups plus prefixes — in particular the
+// lowest-indexed unfinished shard is always runnable, which preserves the
+// Sequencer's deadlock-freedom, and every deterministic ordering (commit
+// replay, sequenced operations) is identical to the unfused schedule.
+// groups <= 1 (or a serial pool) degenerates to the plain serial loop.
+func (p *Pool) RunFused(n, groups int, f func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || groups <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if groups >= n {
+		p.Run(n, f)
+		return
+	}
+	p.Run(groups, func(g int) {
+		lo, hi := g*n/groups, (g+1)*n/groups
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
 }
 
 // Close stops the background workers. The pool must not be used afterwards.
 func (p *Pool) Close() {
-	if p == nil || p.quit == nil {
+	if p == nil || p.wake == nil || p.quit.Load() {
 		return
 	}
-	close(p.quit)
-	p.quit = nil
+	p.quit.Store(true)
+	p.epoch.Add(1) // spinners notice the bump and observe quit
+	for i := 0; i < cap(p.wake); i++ {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Sequencer releases rare order-sensitive operations in shard index order
@@ -143,16 +266,19 @@ func (p *Pool) Close() {
 // global operation sequence.
 //
 // Deadlock-freedom: Pool.Run starts items in index order, so the started set
-// is a prefix; the lowest-indexed unfinished shard is always started and its
-// wait condition (all lower shards finished) already holds, so it can always
-// progress. Operations run under the Sequencer's lock, which also provides
-// the happens-before edge from every lower shard's writes (published by
-// Finish) to the operation body.
+// is a prefix; with RunFused the same holds at supershard granularity with
+// ascending execution inside each supershard, so the lowest-indexed
+// unfinished shard is always started (or its group is the next claim) and its
+// wait condition (all lower shards finished) already holds. Operations run
+// under the Sequencer's lock, which also provides the happens-before edge
+// from every lower shard's writes (published by Finish) to the operation
+// body.
 type Sequencer struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	done []bool
-	low  int // lowest shard index not yet finished
+	mu      sync.Mutex
+	cond    *sync.Cond
+	done    []bool
+	low     int // lowest shard index not yet finished
+	waiters int // goroutines blocked in Do; gates the Finish broadcast
 }
 
 // NewSequencer returns a sequencer for phases of up to n shards.
@@ -182,22 +308,29 @@ func (s *Sequencer) Begin(n int) {
 func (s *Sequencer) Do(k int, f func()) {
 	s.mu.Lock()
 	for s.low < k {
+		s.waiters++
 		s.cond.Wait()
+		s.waiters--
 	}
 	f()
 	s.mu.Unlock()
 }
 
 // Finish marks shard k's tick complete, unblocking operations of higher
-// shards. Every shard of the phase must call it exactly once.
+// shards. Every shard of the phase must call it exactly once. The broadcast
+// only happens when some Do is actually blocked — on the hot path (no
+// sequenced operation pending) Finish is two uncontended lock operations.
 func (s *Sequencer) Finish(k int) {
 	s.mu.Lock()
 	s.done[k] = true
 	for s.low < len(s.done) && s.done[s.low] {
 		s.low++
 	}
+	wake := s.waiters > 0
 	s.mu.Unlock()
-	s.cond.Broadcast()
+	if wake {
+		s.cond.Broadcast()
+	}
 }
 
 // Shard is a Ticker whose cross-shard effects are deferred into an outbox
@@ -212,28 +345,51 @@ type Shard interface {
 	Commit(now PS)
 }
 
+// CommitPending is an optional interface a Shard may implement to expose how
+// many deferred cross-shard effects it currently holds. The quiescent-phase
+// proof treats any shard with pending effects as active, so an empty-outbox
+// certificate can never be issued while a send is waiting to replay.
+type CommitPending interface {
+	PendingCommit() int
+}
+
 // Sharded adapts a group of shards to a single domain Ticker: Tick runs the
 // compute phase of every shard concurrently on the pool, then commits each
 // shard's outbox in index order. It forwards idle hints (min over shards) and
 // idle skipping, so a sharded domain skips exactly like its serial
 // counterpart.
+//
+// Two knobs trim the per-phase barrier tax without observable effect:
+// SetFusion folds the shards into supershards (fewer barrier participants),
+// and SetQuiescent elides the worker dispatch entirely on phases where at
+// most one shard can do work (see the package comment).
 type Sharded struct {
 	pool     *Pool
 	shards   []Shard
-	hints    []IdleHint    // parallel to shards, nil entries when absent
-	skippers []IdleSkipper // shards that batch per-cycle statistics
+	hints    []IdleHint      // parallel to shards, nil entries when absent
+	pendings []CommitPending // parallel to shards, nil entries when absent
+	skippers []IdleSkipper   // shards that batch per-cycle statistics
 	hintable bool
+	fusion   int  // supershard count for pool dispatch
+	quiesce  bool // elide dispatch on provably quiescent phases
+
+	inlinePhases int64 // phases run inline (quiescent or serial-degenerate)
+	pooledPhases int64 // phases dispatched to the worker pool
 }
 
-// NewSharded groups shards for concurrent execution on pool.
+// NewSharded groups shards for concurrent execution on pool. Fusion defaults
+// to one supershard per shard (no fusion) and quiescent-phase elision to off;
+// the machine assembler sets both from the run configuration.
 func NewSharded(pool *Pool, shards ...Shard) *Sharded {
-	s := &Sharded{pool: pool, shards: shards, hintable: true}
+	s := &Sharded{pool: pool, shards: shards, hintable: true, fusion: len(shards)}
 	for _, sh := range shards {
 		h, ok := sh.(IdleHint)
 		if !ok {
 			s.hintable = false
 		}
 		s.hints = append(s.hints, h)
+		cp, _ := sh.(CommitPending)
+		s.pendings = append(s.pendings, cp)
 		if sk, ok := sh.(IdleSkipper); ok {
 			s.skippers = append(s.skippers, sk)
 		}
@@ -241,10 +397,67 @@ func NewSharded(pool *Pool, shards ...Shard) *Sharded {
 	return s
 }
 
+// SetFusion folds the group into `width` supershards for pool dispatch.
+// Values are clamped to [1, len(shards)]; 1 runs every phase inline.
+func (s *Sharded) SetFusion(width int) {
+	if width < 1 {
+		width = 1
+	}
+	if width > len(s.shards) {
+		width = len(s.shards)
+	}
+	s.fusion = width
+}
+
+// SetQuiescent enables or disables quiescent-phase barrier elision.
+func (s *Sharded) SetQuiescent(on bool) { s.quiesce = on }
+
+// Phases reports how many compute phases ran inline versus on the pool —
+// observability for the scaling tools and the quiescence regression tests.
+func (s *Sharded) Phases() (inline, pooled int64) {
+	return s.inlinePhases, s.pooledPhases
+}
+
+// activeShards counts the shards that could act this phase: a shard is
+// active when its idle hint does not prove idleness past now, when it has no
+// hint at all, or — regardless of any hint — when it still holds deferred
+// cross-shard effects awaiting commit. The last clause is what makes the
+// quiescence proof sound: a pending send marks its shard active, forcing the
+// phase through the ordinary commit path.
+func (s *Sharded) activeShards(now PS) int {
+	active := 0
+	for i, h := range s.hints {
+		if cp := s.pendings[i]; cp != nil && cp.PendingCommit() > 0 {
+			active++
+			continue
+		}
+		if h == nil || h.NextWorkAt(now) <= now {
+			active++
+		}
+	}
+	return active
+}
+
 // Tick implements Ticker: compute phase in parallel, commit phase in shard
-// index order.
+// index order. Phases where at most one shard can act (quiescent-phase
+// elision) or where fusion folds everything into one supershard run inline on
+// the calling goroutine — the serial algorithm itself, so the result is
+// identical by construction and no worker wake-up is paid.
 func (s *Sharded) Tick(now PS) {
-	s.pool.Run(len(s.shards), func(i int) { s.shards[i].Tick(now) })
+	n := len(s.shards)
+	inline := s.pool == nil || s.pool.workers <= 1 || s.fusion <= 1
+	if !inline && s.quiesce && s.activeShards(now) < 2 {
+		inline = true
+	}
+	if inline {
+		s.inlinePhases++
+		for i := 0; i < n; i++ {
+			s.shards[i].Tick(now)
+		}
+	} else {
+		s.pooledPhases++
+		s.pool.RunFused(n, s.fusion, func(i int) { s.shards[i].Tick(now) })
+	}
 	for _, sh := range s.shards {
 		sh.Commit(now)
 	}

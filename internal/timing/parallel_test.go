@@ -1,6 +1,7 @@
 package timing
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -190,4 +191,229 @@ func TestShardedIdleHint(t *testing.T) {
 	if got := sh.NextWorkAt(10); got != 40 {
 		t.Fatalf("NextWorkAt = %d, want 40 (min over shards)", got)
 	}
+}
+
+// TestPoolStress hammers the spin-then-park pool with adversarial worker
+// counts (including more workers than CPUs and more workers than items) and
+// back-to-back phases of varying size, in both the park-immediately (spin=0)
+// and spin-first configurations. Every index of every phase must run exactly
+// once — this is the claim-ordering/lost-wakeup stress the -race leg exists
+// for.
+func TestPoolStress(t *testing.T) {
+	sizes := []int{1, 2, 3, 8, 17, 64, 72, 200}
+	for _, workers := range []int{2, 3, 8, 16} {
+		for _, spin := range []int{0, 64} {
+			p := NewPool(workers)
+			p.spin = spin
+			for round := 0; round < 30; round++ {
+				n := sizes[round%len(sizes)]
+				hits := make([]int32, n)
+				p.Run(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d spin=%d round=%d: item %d ran %d times, want 1",
+							workers, spin, round, i, h)
+					}
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestRunFusedOrdering checks the RunFused contract: every index runs exactly
+// once, and indices within each supershard's contiguous range execute in
+// ascending order (the property that keeps commit replay and the Sequencer's
+// deadlock-freedom argument intact).
+func TestRunFusedOrdering(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 72
+	for _, groups := range []int{1, 2, 3, 4, 7, 36, 72, 100} {
+		var mu sync.Mutex
+		seq := make([]int, 0, n) // global execution order
+		hits := make([]int32, n)
+		p.RunFused(n, groups, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+			mu.Lock()
+			seq = append(seq, i)
+			mu.Unlock()
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("groups=%d: item %d ran %d times, want 1", groups, i, h)
+			}
+		}
+		// Within each group's range [g*n/groups, (g+1)*n/groups) the global
+		// order must be ascending, because one goroutine runs the whole group.
+		g := groups
+		if g > n {
+			g = n
+		}
+		last := make([]int, g)
+		for i := range last {
+			last[i] = -1
+		}
+		for _, i := range seq {
+			grp := i * g / n
+			// Exact group lookup: find the range containing i.
+			for grp > 0 && grp*n/g > i {
+				grp--
+			}
+			for (grp+1)*n/g <= i {
+				grp++
+			}
+			if last[grp] >= i {
+				t.Fatalf("groups=%d: group %d ran index %d after %d", groups, grp, i, last[grp])
+			}
+			last[grp] = i
+		}
+	}
+}
+
+// TestSequencerFused fuzzes the Sequencer under fused dispatch: 72 shards, a
+// seeded random subset of them submitting sequenced operations each phase,
+// across every interesting fusion width. Operations must still execute in
+// strict shard-index order and each must observe every lower shard finished.
+func TestSequencerFused(t *testing.T) {
+	const n = 72
+	p := NewPool(8)
+	defer p.Close()
+	s := NewSequencer(n)
+	rng := rand.New(rand.NewSource(42))
+	for _, groups := range []int{2, 4, 9, 24, 72} {
+		for trial := 0; trial < 20; trial++ {
+			// Random subset of shards run a sequenced op this phase —
+			// including phases where none or all do.
+			doOp := make([]bool, n)
+			for k := range doOp {
+				doOp[k] = rng.Intn(3) == 0
+			}
+			s.Begin(n)
+			finished := make([]atomic.Bool, n)
+			var order []int
+			p.RunFused(n, groups, func(k int) {
+				if doOp[k] {
+					s.Do(k, func() {
+						for j := 0; j < k; j++ {
+							if !finished[j].Load() {
+								t.Errorf("groups=%d: Do(%d) ran before shard %d finished", groups, k, j)
+							}
+						}
+						order = append(order, k)
+					})
+				}
+				finished[k].Store(true)
+				s.Finish(k)
+			})
+			for i := 1; i < len(order); i++ {
+				if order[i] <= order[i-1] {
+					t.Fatalf("groups=%d trial=%d: sequenced ops out of order: %v", groups, trial, order)
+				}
+			}
+		}
+	}
+}
+
+// pendShard is a Shard with a controllable idle hint and pending-commit
+// count, for driving the quiescence proof directly.
+type pendShard struct {
+	wake    PS
+	pend    int
+	ticks   int
+	commits int
+}
+
+func (s *pendShard) Tick(now PS)          { s.ticks++ }
+func (s *pendShard) Commit(now PS)        { s.commits++; s.pend = 0 }
+func (s *pendShard) NextWorkAt(now PS) PS { return s.wake }
+func (s *pendShard) PendingCommit() int   { return s.pend }
+
+// TestQuiescenceNeverElidesPendingSend is the regression the quiescence proof
+// must never lose: a shard whose idle hint claims it is asleep but which
+// still holds a deferred cross-shard send counts as active, so the phase
+// cannot be certified quiescent while a send is waiting to replay.
+func TestQuiescenceNeverElidesPendingSend(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	busy := &pendShard{wake: 0}                // hint says: work now
+	sleeper := &pendShard{wake: 1000, pend: 3} // hint says idle, but outbox non-empty
+	idle := &pendShard{wake: 1000}
+	sh := NewSharded(p, busy, sleeper, idle)
+	sh.SetFusion(3)
+	sh.SetQuiescent(true)
+
+	if got := sh.activeShards(5); got != 2 {
+		t.Fatalf("activeShards = %d, want 2 (busy + pending-send sleeper)", got)
+	}
+	sh.Tick(5)
+	if in, pooled := sh.Phases(); in != 0 || pooled != 1 {
+		t.Fatalf("phase with pending send ran inline=%d pooled=%d, want 0/1 (no elision)", in, pooled)
+	}
+	if sleeper.commits != 1 {
+		t.Fatalf("pending-send shard committed %d times, want 1", sleeper.commits)
+	}
+
+	// Commit drained the outbox; with only one busy shard left the next
+	// phase is provably quiescent and runs inline.
+	sh.Tick(6)
+	if in, pooled := sh.Phases(); in != 1 || pooled != 1 {
+		t.Fatalf("quiescent phase ran inline=%d pooled=%d, want 1/1", in, pooled)
+	}
+	// Inline phases still tick and commit every shard.
+	for i, s := range []*pendShard{busy, sleeper, idle} {
+		if s.ticks != 2 || s.commits != 2 {
+			t.Fatalf("shard %d: ticks=%d commits=%d, want 2/2", i, s.ticks, s.commits)
+		}
+	}
+
+	// With batching off the same phase dispatches to the pool.
+	sh.SetQuiescent(false)
+	sh.Tick(7)
+	if in, pooled := sh.Phases(); in != 1 || pooled != 2 {
+		t.Fatalf("nobatch phase ran inline=%d pooled=%d, want 1/2", in, pooled)
+	}
+}
+
+// TestShardedFusedCommitOrder re-proves the commit-order invariant of
+// TestShardedCommitOrder at every fusion width, with quiescence batching on
+// (countShard has no idle hint discipline beyond wake, so phases stay
+// active).
+func TestShardedFusedCommitOrder(t *testing.T) {
+	for _, width := range []int{1, 2, 3, 8} {
+		p := NewPool(4)
+		var log []int
+		shards := make([]Shard, 8)
+		for i := range shards {
+			shards[i] = &countShard{id: i, log: &log}
+		}
+		sh := NewSharded(p, shards...)
+		sh.SetFusion(width)
+		sh.SetQuiescent(true)
+		for tick := 0; tick < 20; tick++ {
+			sh.Tick(PS(tick))
+		}
+		if len(log) != 8*20 {
+			t.Fatalf("width=%d: log has %d entries, want %d", width, len(log), 8*20)
+		}
+		for i, v := range log {
+			if v != i%8 {
+				t.Fatalf("width=%d: commit order broken at %d: got shard %d, want %d", width, i, v, i%8)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolCloseIdempotent checks Close is safe on never-started, started, and
+// already-closed pools.
+func TestPoolCloseIdempotent(t *testing.T) {
+	var nilPool *Pool
+	nilPool.Close() // must not panic
+	p := NewPool(4)
+	p.Close() // never started
+	p2 := NewPool(4)
+	p2.Run(8, func(int) {})
+	p2.Close()
+	p2.Close() // double close
 }
