@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke test-parallel test-parallel-fused golden golden-update clean
+.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke test-parallel test-parallel-fused golden golden-update serve-test load-test clean
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,23 @@ golden:
 golden-update:
 	$(GO) run ./cmd/ndpreport golden -out testdata/golden_digests.json
 	@echo "testdata/golden_digests.json refreshed; commit it with an explanation."
+
+# Service conformance suite under the race detector: scheduler semantics
+# (memoization, coalescing, fairness, backpressure, drain-on-shutdown), the
+# HTTP surface, the fuzz corpus as regression inputs, and the short load
+# phases. The full golden matrix (TestServedDigestsMatchGolden) is excluded
+# by -short; `make test` runs it.
+serve-test:
+	$(GO) test -race -short -timeout 15m ./internal/serve ./cmd/ndpserve
+	$(GO) test -race -short -run 'TestUseServerRoundTrip|TestSweepServerFlag' -timeout 5m ./internal/experiments ./cmd/ndpsweep
+
+# Load-test harness over the full HTTP stack (stub simulator): >=1000
+# concurrent in-flight requests with bounded memory, crisp 429 backpressure,
+# sustained throughput, and the >=100x memoized-replay speedup. Writes the
+# throughput summary CI uploads as an artifact.
+load-test:
+	NDPSERVE_LOAD_OUT=$(CURDIR)/load_test_summary.json $(GO) test -run '^TestLoadServe$$' -timeout 15m -v ./internal/serve
+	@echo "load_test_summary.json written"
 
 # One-iteration benchmark smoke with the ±25% gate against the recorded
 # reference (fails only on slowdowns; a faster host just warns).

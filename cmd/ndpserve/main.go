@@ -1,0 +1,124 @@
+// Command ndpserve is the long-running simulation service: an HTTP/JSON
+// server that accepts run requests (workload x mode x config overrides x
+// seed x fault schedule), schedules them on a bounded worker pool, and
+// memoizes completed results by request content digest — a repeated request
+// costs a map lookup, not a full simulation.
+//
+// Usage:
+//
+//	ndpserve -addr :8347 -workers 8 -queue 1024
+//
+// Endpoints:
+//
+//	POST /run      submit a run; ?stream=1 upgrades to SSE progress events
+//	GET  /status   scheduler counters (JSON)
+//	GET  /metrics  the same counters, one per line
+//	GET  /healthz  liveness
+//
+// Example:
+//
+//	curl -s localhost:8347/run -d '{"workload":"VADD","mode":"dyn"}'
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (503), every
+// acknowledged request — queued or running — completes and is answered,
+// then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ndpgpu/internal/experiments"
+	"ndpgpu/internal/prof"
+	"ndpgpu/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() { <-sig; close(stop) }()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop, nil))
+}
+
+// run is the whole server behind a testable seam: parse flags, serve until
+// stop closes, drain, and return the process exit status. ready (when
+// non-nil) receives the bound listen address once the server accepts
+// connections.
+func run(args []string, w, werr io.Writer, stop <-chan struct{}, ready func(addr string)) int {
+	fs := flag.NewFlagSet("ndpserve", flag.ContinueOnError)
+	fs.SetOutput(werr)
+	var (
+		addr    = fs.String("addr", ":8347", "listen address")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+		queue   = fs.Int("queue", 1024, "admission queue capacity (429 beyond it)")
+		retry   = fs.Duration("retryafter", time.Second, "Retry-After hint on backpressure")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	stopProf, err := prof.StartOpts(prof.Options{CPU: *cpuProf, Mem: *memProf})
+	if err != nil {
+		fmt.Fprintln(werr, "ndpserve:", err)
+		return 1
+	}
+	defer stopProf()
+
+	sched := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueCap:   *queue,
+		Runner:     experiments.ServeRunner(),
+		RetryAfter: *retry,
+	})
+	srv := &http.Server{Handler: serve.NewServer(sched)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(werr, "ndpserve:", err)
+		return 1
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	fmt.Fprintf(w, "ndpserve: listening on %s (%d workers, queue %d)\n",
+		ln.Addr(), *workers, *queue)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(werr, "ndpserve:", err)
+		sched.Shutdown()
+		return 1
+	case <-stop:
+	}
+
+	// Drain: stop admitting (every new submit gets 503), finish every
+	// acknowledged run, then close the HTTP side, whose in-flight handlers
+	// have all been answered by the drain.
+	fmt.Fprintln(w, "ndpserve: draining...")
+	sched.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(werr, "ndpserve: shutdown:", err)
+		return 1
+	}
+	snap := sched.Snapshot()
+	fmt.Fprintf(w, "ndpserve: drained (%d executed, %d cache hits, %d coalesced)\n",
+		snap.Executed, snap.CacheHits, snap.Coalesced)
+	return 0
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ndpgpu/internal/serve"
+	"ndpgpu/internal/sim"
+)
+
+// startMain runs the server seam on an ephemeral port and returns its base
+// URL, the stop trigger, and a channel with the final exit status + output.
+func startMain(t *testing.T, args ...string) (base string, stop chan struct{}, done chan int, out *bytes.Buffer) {
+	t.Helper()
+	stop = make(chan struct{})
+	done = make(chan int, 1)
+	ready := make(chan string, 1)
+	out = new(bytes.Buffer)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...),
+			out, out, stop, func(addr string) { ready <- addr })
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, stop, done, out
+	case code := <-done:
+		t.Fatalf("server exited with %d before listening:\n%s", code, out)
+		return "", nil, nil, nil
+	}
+}
+
+func TestMainServesAndDrains(t *testing.T) {
+	base, stop, done, out := startMain(t, "-workers", "2", "-queue", "16")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	if !testing.Short() {
+		// One real simulation end to end through the wired ServeRunner,
+		// kept cheap with the audit configuration.
+		cfgJSON, err := json.Marshal(sim.AuditConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf(`{"workload":"VADD","config":%s}`, cfgJSON)
+		rresp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rresp.Body.Close()
+		if rresp.StatusCode != http.StatusOK {
+			t.Fatalf("run: %d", rresp.StatusCode)
+		}
+		var rr serve.RunResponse
+		if err := json.NewDecoder(rresp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.TimePS <= 0 || len(rr.Digest) == 0 {
+			t.Fatalf("served run looks empty: %+v", rr)
+		}
+	}
+
+	close(stop) // SIGINT/SIGTERM path
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d:\n%s", code, out)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain within 60s")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("no drain summary in output:\n%s", out)
+	}
+}
+
+func TestMainBadFlags(t *testing.T) {
+	if code := run([]string{"-nope"}, new(bytes.Buffer), new(bytes.Buffer), nil, nil); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-addr", "256.0.0.1:http"}, &out, &out, nil, nil); code != 1 {
+		t.Fatalf("bad addr exit %d, want 1:\n%s", code, &out)
+	}
+}

@@ -89,6 +89,7 @@ func run(args []string, w, werr io.Writer) int {
 		faults  = fs.String("faults", "", "fault schedule applied to every run (see README)")
 		csvDir  = fs.String("csvdir", "", "also write fig7/fig9 speedups as CSV into this directory")
 		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations per experiment")
+		server  = fs.String("server", "", "client mode: route every run through the ndpserve instance at this base URL")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		mtxProf = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -119,6 +120,20 @@ func run(args []string, w, werr io.Writer) int {
 	}
 	defer stopProf()
 	experiments.Jobs = *jobs
+
+	// Client mode: every RunOne becomes an HTTP request against a running
+	// ndpserve instance, which memoizes by content digest — a re-sweep of
+	// already-served points costs map lookups, not simulations. -j still
+	// bounds client-side concurrency. UseLocal keeps repeated run() calls
+	// (tests) from leaking a stale executor into later sweeps.
+	experiments.UseLocal()
+	if *server != "" {
+		if err := experiments.UseServer(*server, "ndpsweep"); err != nil {
+			fmt.Fprintln(werr, "ndpsweep:", err)
+			return 2
+		}
+		defer experiments.UseLocal()
+	}
 
 	cfg := config.Default()
 	if *faults != "" {

@@ -17,6 +17,7 @@ import (
 
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/energy"
+	"ndpgpu/internal/serve"
 	"ndpgpu/internal/sim"
 	"ndpgpu/internal/stats"
 	"ndpgpu/internal/timing"
@@ -31,6 +32,12 @@ func Workloads() []string { return workloads.Abbrs() }
 // default) means GOMAXPROCS. Set once before running experiments (ndpsweep's
 // -j flag); runAll reads it without synchronization.
 var Jobs int
+
+// Exec, when non-nil, replaces local execution for every RunOne call —
+// ndpsweep's -server client mode points it at a running ndpserve instance
+// (see UseServer). RunOneWith always executes locally: its prep hook hands
+// out the assembled machine, which cannot cross the wire.
+var Exec func(cfg config.Config, abbr string, mode sim.Mode, scale int) *Run
 
 // tally accumulates wall-clock cost across every RunOneWith call so sweeps
 // can report per-run cost alongside the total (atomics for the hot counters,
@@ -86,9 +93,26 @@ func (r *Run) Speedup(base *Run) float64 {
 	return float64(base.TimePS) / float64(r.TimePS)
 }
 
+// recordTally folds one completed run into the process-wide tally.
+func recordTally(d time.Duration) {
+	tally.runs.Add(1)
+	tally.wallNS.Add(int64(d))
+	tally.mu.Lock()
+	tally.durs = append(tally.durs, d)
+	tally.mu.Unlock()
+}
+
 // RunOne builds the workload, runs it under the mode, verifies the output,
-// and computes energy.
+// and computes energy — locally, or through the Exec seam when a remote
+// executor is installed.
 func RunOne(cfg config.Config, abbr string, mode sim.Mode, scale int) *Run {
+	if Exec != nil {
+		start := time.Now()
+		run := Exec(cfg, abbr, mode, scale)
+		run.Wall = time.Since(start)
+		recordTally(run.Wall)
+		return run
+	}
 	return RunOneWith(cfg, abbr, mode, scale, nil)
 }
 
@@ -100,11 +124,7 @@ func RunOneWith(cfg config.Config, abbr string, mode sim.Mode, scale int, prep f
 	start := time.Now()
 	defer func() {
 		run.Wall = time.Since(start)
-		tally.runs.Add(1)
-		tally.wallNS.Add(int64(run.Wall))
-		tally.mu.Lock()
-		tally.durs = append(tally.durs, run.Wall)
-		tally.mu.Unlock()
+		recordTally(run.Wall)
 	}()
 	mem := vm.New(cfg)
 	w, err := workloads.Build(abbr, mem, scale)
@@ -142,10 +162,11 @@ type job struct {
 	cfg      config.Config
 }
 
-// runAll executes the jobs on a bounded worker pool (each machine is
-// independent) and returns results keyed by workload|mode. Workers pull job
-// indices from a shared counter and write into an index-addressed slice, so
-// the result set is deterministic regardless of scheduling order.
+// runAll executes the jobs on a bounded serve.Pool (each machine is
+// independent) and returns results keyed by workload|mode. Tasks write into
+// an index-addressed slice, so the result set is deterministic regardless of
+// scheduling order. The pool type is the same one the ndpserve scheduler
+// dispatches on — ndpsweep -j and the service share one implementation.
 func runAll(jobs []job, scale int) map[string]*Run {
 	runs := make([]*Run, len(jobs))
 	workers := Jobs
@@ -155,23 +176,15 @@ func runAll(jobs []job, scale int) map[string]*Run {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				j := jobs[i]
-				runs[i] = RunOne(j.cfg, j.workload, j.mode, scale)
-			}
-		}()
+	pool := serve.NewPool(workers)
+	for i := range jobs {
+		i := i
+		pool.Go(func() {
+			j := jobs[i]
+			runs[i] = RunOne(j.cfg, j.workload, j.mode, scale)
+		})
 	}
-	wg.Wait()
+	pool.Close() // drain and join
 	res := make(map[string]*Run, len(jobs))
 	for i, j := range jobs {
 		res[j.workload+"|"+j.mode.Name] = runs[i]

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"ndpgpu/internal/serve"
+	"ndpgpu/internal/sim"
+)
+
+// TestUseServerRoundTrip runs the same leg locally and through the full
+// ndpsweep -server transport (HTTP client -> ndpserve -> ServeRunner) and
+// requires identical results: digest, simulated time, and the client-side
+// recomputed energy. This is the contract that lets a sweep transparently
+// swap local execution for served execution.
+func TestUseServerRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	cfg := sim.AuditConfig()
+
+	local := RunOneWith(cfg, "VADD", sim.DynNDP, 1, nil)
+	if local.Err != nil {
+		t.Fatal(local.Err)
+	}
+
+	sched := serve.New(serve.Options{Workers: 2, QueueCap: 16, Runner: ServeRunner()})
+	ts := httptest.NewServer(serve.NewServer(sched))
+	defer func() {
+		ts.Close()
+		sched.Shutdown()
+	}()
+
+	if err := UseServer(ts.URL, "test"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(UseLocal)
+
+	served := RunOne(cfg, "VADD", sim.DynNDP, 1)
+	if served.Err != nil {
+		t.Fatal(served.Err)
+	}
+
+	ld := local.Stats.Digest()
+	sd := served.Stats.Digest()
+	for k, lv := range ld {
+		if sv, ok := sd[k]; !ok || sv != lv {
+			t.Errorf("digest %s: served %v, local %v", k, sd[k], lv)
+		}
+	}
+	if len(sd) != len(ld) {
+		t.Errorf("digest sizes differ: served %d, local %d", len(sd), len(ld))
+	}
+	if served.TimePS != local.TimePS {
+		t.Errorf("TimePS: served %d, local %d", served.TimePS, local.TimePS)
+	}
+	if served.Energy.Total() != local.Energy.Total() {
+		t.Errorf("energy: served %v, local %v", served.Energy.Total(), local.Energy.Total())
+	}
+	if served.Mode != local.Mode || served.Workload != local.Workload {
+		t.Errorf("run identity: served %s/%s, local %s/%s",
+			served.Workload, served.Mode, local.Workload, local.Mode)
+	}
+
+	// The repeat costs the server a map lookup, and the sweep cannot tell.
+	again := RunOne(cfg, "VADD", sim.DynNDP, 1)
+	if again.Err != nil {
+		t.Fatal(again.Err)
+	}
+	if again.TimePS != local.TimePS {
+		t.Errorf("cached repeat TimePS: %d, want %d", again.TimePS, local.TimePS)
+	}
+	snap := sched.Snapshot()
+	if snap.Executed != 1 || snap.CacheHits != 1 {
+		t.Errorf("server counters after repeat: %+v", snap)
+	}
+
+	// An unreachable server is a setup error, reported before any run.
+	if err := UseServer("http://127.0.0.1:1", "test"); err == nil {
+		t.Error("UseServer accepted an unreachable server")
+	}
+	UseLocal()
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ndpgpu/internal/stats"
+)
+
+// Client is a thin HTTP client for an ndpserve instance — the transport
+// behind ndpsweep's -server client mode.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:8347"). Requests have no client-side timeout: a cold
+// full-size simulation can legitimately take minutes, and the server bounds
+// its own admission.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// Healthz probes the server's liveness endpoint.
+func (c *Client) Healthz() error {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get(c.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("ndpserve unreachable at %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ndpserve %s/healthz: %s", c.base, resp.Status)
+	}
+	return nil
+}
+
+// Run submits one request and decodes the result. The server's 429
+// backpressure is honored transparently: the client sleeps the advertised
+// Retry-After (capped) and retries, so a sweep pointed at a busy server
+// degrades to queuing client-side instead of failing.
+func (c *Client) Run(rr RunRequest) (*RunResponse, *stats.Stats, error) {
+	body, err := json.Marshal(rr)
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		resp, retry, err := c.post(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		if retry > 0 {
+			time.Sleep(retry)
+			continue
+		}
+		var st *stats.Stats
+		if len(resp.Stats) > 0 {
+			st = new(stats.Stats)
+			if err := json.Unmarshal(resp.Stats, st); err != nil {
+				return nil, nil, fmt.Errorf("decoding stats bundle: %w", err)
+			}
+		}
+		return resp, st, nil
+	}
+}
+
+// post performs one POST /run; a 429 returns a positive retry delay.
+func (c *Client) post(body []byte) (*RunResponse, time.Duration, error) {
+	resp, err := c.hc.Post(c.base+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		delay := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			var secs int
+			if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+		}
+		if delay > 10*time.Second {
+			delay = 10 * time.Second
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil, delay, nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return nil, 0, fmt.Errorf("ndpserve: %s: %s", resp.Status, eb.Error)
+		}
+		return nil, 0, fmt.Errorf("ndpserve: %s", resp.Status)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return nil, 0, fmt.Errorf("decoding run response: %w", err)
+	}
+	return &rr, 0, nil
+}

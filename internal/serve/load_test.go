@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// loadSummary is the throughput artifact `make load-test` uploads from CI
+// (written when NDPSERVE_LOAD_OUT names a file).
+type loadSummary struct {
+	Mode          string  `json:"mode"` // "short" or "full"
+	Requests      int     `json:"requests"`
+	Uniques       int     `json:"uniques"`
+	InFlightPeak  int     `json:"in_flight_peak"`
+	Executed      int64   `json:"executed"`
+	Deduplicated  int64   `json:"deduplicated"` // cache hits + coalesced
+	Rejected429   int     `json:"rejected_429"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	ColdMS        float64 `json:"cold_ms"`
+	WarmMedianMS  float64 `json:"warm_median_ms"`
+	CacheSpeedup  float64 `json:"cache_speedup"`
+	HeapAllocMB   float64 `json:"heap_alloc_mb"`
+	WallSec       float64 `json:"wall_sec"`
+}
+
+// TestLoadServe is the load-test harness (`make load-test`): it drives the
+// full HTTP stack over a stub simulator through four phases — concurrent
+// capacity, admission backpressure, sustained throughput, and memoized-replay
+// speedup — and asserts the service-level floors from the issue: >=1000
+// concurrent in-flight requests with bounded memory, and a repeated request
+// at least 100x faster than a cold one. `-short` shrinks the floors so the
+// same harness rides along in `make serve-test`.
+func TestLoadServe(t *testing.T) {
+	start := time.Now()
+	sum := loadSummary{Mode: "full"}
+	if testing.Short() {
+		sum.Mode = "short"
+	}
+
+	sum.InFlightPeak, sum.Requests, sum.Uniques, sum.Executed, sum.Deduplicated, sum.HeapAllocMB =
+		loadCapacityPhase(t, testing.Short())
+	sum.Rejected429 = loadBackpressurePhase(t)
+	sum.ThroughputRPS = loadThroughputPhase(t, testing.Short())
+	sum.ColdMS, sum.WarmMedianMS, sum.CacheSpeedup = loadCachePhase(t, testing.Short())
+	sum.WallSec = time.Since(start).Seconds()
+
+	t.Logf("load summary: %+v", sum)
+	if out := os.Getenv("NDPSERVE_LOAD_OUT"); out != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("writing load summary: %v", err)
+		}
+	}
+}
+
+// loadClient is an HTTP client that tolerates thousands of parallel requests.
+func loadClient() *http.Client {
+	tr := &http.Transport{MaxIdleConns: 128, MaxIdleConnsPerHost: 128}
+	return &http.Client{Transport: tr}
+}
+
+// loadCapacityPhase piles duplicated requests from many clients onto a gated
+// simulator until the whole load is simultaneously in flight, then releases
+// the gate and requires every request to complete. This is the ">=1000
+// concurrent in-flight requests with bounded memory" acceptance leg.
+func loadCapacityPhase(t *testing.T, short bool) (peak, total, uniques int, executed, dedup int64, heapMB float64) {
+	uniques, dups, clients, floor := 300, 4, 40, 1000
+	if short {
+		uniques, dups, clients, floor = 80, 4, 10, 250
+	}
+	total = uniques * dups
+
+	stub := newStubSim(0)
+	stub.gate = make(chan struct{})
+	sched := New(Options{Workers: 16, QueueCap: uniques, Runner: stub.runner()})
+	ts := httptest.NewServer(NewServer(sched))
+	defer func() {
+		ts.Close()
+		sched.Shutdown()
+	}()
+	hc := loadClient()
+
+	var wg sync.WaitGroup
+	var ok, bad atomic.Int64
+	for i := 0; i < total; i++ {
+		body := fmt.Sprintf(`{"workload":"VADD","mode":"dyn","seed":%d}`, 1+i%uniques)
+		client := fmt.Sprintf("client%d", i%clients)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(body))
+			req.Header.Set("X-Client", client)
+			resp, err := hc.Do(req)
+			if err != nil {
+				bad.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				ok.Add(1)
+			} else {
+				bad.Add(1)
+			}
+		}()
+	}
+
+	waitSnapshot(t, sched, fmt.Sprintf("%d requests in flight", total),
+		func(c Counters) bool { return c.InFlight >= total })
+
+	// Memory at peak load: everything admitted or coalesced, nothing running.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heapMB = float64(ms.HeapAlloc) / (1 << 20)
+	if heapMB > 256 {
+		t.Errorf("heap at %d in-flight requests: %.1f MB, want <= 256 MB", total, heapMB)
+	}
+
+	close(stub.gate)
+	wg.Wait()
+
+	snap := sched.Snapshot()
+	if snap.MaxInFlight < floor {
+		t.Errorf("in-flight peak %d, want >= %d", snap.MaxInFlight, floor)
+	}
+	if got := ok.Load(); got != int64(total) || bad.Load() != 0 {
+		t.Errorf("%d/%d requests succeeded (%d failed)", got, total, bad.Load())
+	}
+	if snap.Executed != int64(uniques) {
+		t.Errorf("executed %d simulations for %d uniques", snap.Executed, uniques)
+	}
+	if snap.CacheHits+snap.Coalesced != int64(total-uniques) {
+		t.Errorf("deduplicated %d of %d duplicates", snap.CacheHits+snap.Coalesced, total-uniques)
+	}
+	if snap.MaxRunning > 16 {
+		t.Errorf("running peak %d exceeds 16 workers", snap.MaxRunning)
+	}
+	return snap.MaxInFlight, total, uniques, snap.Executed, snap.CacheHits + snap.Coalesced, heapMB
+}
+
+// loadBackpressurePhase saturates a tiny queue and requires (a) crisp 429 +
+// Retry-After beyond capacity and (b) completion of everything acknowledged.
+func loadBackpressurePhase(t *testing.T) (rejected int) {
+	stub := newStubSim(0)
+	stub.gate = make(chan struct{})
+	sched := New(Options{Workers: 1, QueueCap: 8, Runner: stub.runner(), RetryAfter: 2 * time.Second})
+	ts := httptest.NewServer(NewServer(sched))
+	defer func() {
+		ts.Close()
+		sched.Shutdown()
+	}()
+	hc := loadClient()
+
+	post := func(seed int, results chan<- int) {
+		resp, err := hc.Post(ts.URL+"/run", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"workload":"VADD","mode":"dyn","seed":%d}`, seed)))
+		if err != nil {
+			t.Error(err)
+			results <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusTooManyRequests &&
+			resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+		resp.Body.Close()
+		results <- resp.StatusCode
+	}
+
+	// Fill deterministically: one running, then the queue to its cap.
+	acked := make(chan int, 9)
+	go post(1, acked)
+	waitSnapshot(t, sched, "worker busy", func(c Counters) bool { return c.Running == 1 })
+	for seed := 2; seed <= 9; seed++ {
+		go post(seed, acked)
+	}
+	waitSnapshot(t, sched, "queue full", func(c Counters) bool { return c.Queued == 8 })
+
+	// Everything beyond capacity bounces with 429.
+	const extra = 50
+	over := make(chan int, extra)
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			post(seed, over)
+		}(100 + i)
+	}
+	wg.Wait()
+	for i := 0; i < extra; i++ {
+		switch code := <-over; code {
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Errorf("over-capacity request got %d, want 429", code)
+		}
+	}
+
+	close(stub.gate)
+	for i := 0; i < 9; i++ {
+		if code := <-acked; code != http.StatusOK {
+			t.Errorf("acknowledged request finished with %d", code)
+		}
+	}
+	return rejected
+}
+
+// loadThroughputPhase measures sustained unique-request throughput end to end
+// (HTTP parse -> canonicalize -> schedule -> respond) over a cheap simulator.
+func loadThroughputPhase(t *testing.T, short bool) float64 {
+	total, conc, floor := 400, 64, 200.0
+	if short {
+		total, floor = 200, 100.0
+	}
+	stub := newStubSim(2 * time.Millisecond)
+	sched := New(Options{Workers: 16, QueueCap: total, Runner: stub.runner()})
+	ts := httptest.NewServer(NewServer(sched))
+	defer func() {
+		ts.Close()
+		sched.Shutdown()
+	}()
+	hc := loadClient()
+
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(seed int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, err := hc.Post(ts.URL+"/run", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"workload":"VADD","mode":"dyn","seed":%d}`, 1+seed)))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	rps := float64(total) / time.Since(start).Seconds()
+	if failed.Load() != 0 {
+		t.Errorf("%d/%d throughput requests failed", failed.Load(), total)
+	}
+	if rps < floor {
+		t.Errorf("throughput %.0f requests/sec, want >= %.0f", rps, floor)
+	}
+	return rps
+}
+
+// loadCachePhase pins the economics of memoization: a repeated request is
+// served from the digest cache >=100x faster than the cold simulation
+// (>=20x under -short, where the cold run is cheaper).
+func loadCachePhase(t *testing.T, short bool) (coldMS, warmMS, speedup float64) {
+	cold, ratio := 250*time.Millisecond, 100.0
+	if short {
+		cold, ratio = 100*time.Millisecond, 20.0
+	}
+	stub := newStubSim(cold)
+	sched := New(Options{Workers: 2, QueueCap: 8, Runner: stub.runner()})
+	ts := httptest.NewServer(NewServer(sched))
+	defer func() {
+		ts.Close()
+		sched.Shutdown()
+	}()
+	hc := loadClient()
+
+	body := `{"workload":"VADD","mode":"dyn","seed":77}`
+	run := func() (time.Duration, *RunResponse) {
+		t.Helper()
+		begin := time.Now()
+		resp, err := hc.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var rr RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(begin), &rr
+	}
+
+	coldWall, first := run()
+	if first.Cached {
+		t.Fatal("first request served from cache")
+	}
+	const warmRuns = 50
+	warms := make([]time.Duration, warmRuns)
+	for i := range warms {
+		wall, rr := run()
+		if !rr.Cached {
+			t.Fatal("repeat request missed the cache")
+		}
+		if rr.Key != first.Key || rr.Digest["TimePS"] != first.Digest["TimePS"] {
+			t.Fatal("cached result differs from the cold one")
+		}
+		warms[i] = wall
+	}
+	sort.Slice(warms, func(i, j int) bool { return warms[i] < warms[j] })
+	warmMedian := warms[warmRuns/2]
+
+	coldMS = float64(coldWall) / float64(time.Millisecond)
+	warmMS = float64(warmMedian) / float64(time.Millisecond)
+	speedup = coldMS / warmMS
+	if speedup < ratio {
+		t.Errorf("cache speedup %.1fx (cold %.1fms, warm median %.3fms), want >= %.0fx",
+			speedup, coldMS, warmMS, ratio)
+	}
+	return coldMS, warmMS, speedup
+}

@@ -1,0 +1,105 @@
+// Package serve is the simulation-as-a-service layer: a bounded worker pool,
+// canonical run requests keyed by content digest, a memoizing scheduler with
+// request coalescing, per-client fairness, and admission backpressure, and a
+// stdlib-only HTTP/JSON front end (cmd/ndpserve) with streaming progress.
+//
+// The package deliberately knows nothing about how a request is executed —
+// the Runner seam is injected — so the conformance and load-test suites drive
+// it with a stub simulator, while cmd/ndpserve and the experiments sweep wire
+// in the real machine.
+package serve
+
+import "sync"
+
+// Pool is a fixed set of worker goroutines draining a FIFO of tasks. It is
+// the one worker-pool implementation in the tree: the ndpserve scheduler
+// dispatches on it and experiments.runAll (ndpsweep -j) maps its simulation
+// jobs over it, so "how many simulations run at once" has a single answer.
+//
+// The queue is unbounded by design — admission control is the caller's
+// policy (the scheduler bounds it with 429 backpressure; a sweep submits a
+// statically-known job list).
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	active int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			// closed and drained
+			p.mu.Unlock()
+			return
+		}
+		fn := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.active++
+		p.mu.Unlock()
+
+		fn()
+
+		p.mu.Lock()
+		p.active--
+		if p.active == 0 && len(p.queue) == 0 {
+			p.cond.Broadcast() // wake Wait and Close
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Go enqueues fn for execution. It reports false — and drops fn — once the
+// pool is closed.
+func (p *Pool) Go(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.queue = append(p.queue, fn)
+	p.cond.Broadcast()
+	return true
+}
+
+// Wait blocks until the queue is empty and no task is running. Tasks
+// submitted while Wait blocks extend the wait.
+func (p *Pool) Wait() {
+	p.mu.Lock()
+	for len(p.queue) > 0 || p.active > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops admission, lets every already-queued task run to completion,
+// and joins the workers. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if !p.Go(func() { n.Add(1) }) {
+			t.Fatal("Go returned false on an open pool")
+		}
+	}
+	p.Wait()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+	p.Close()
+	if p.Go(func() {}) {
+		t.Fatal("Go accepted work after Close")
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < 50; i++ {
+		p.Go(func() {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	p.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2)
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		p.Go(func() {
+			time.Sleep(time.Millisecond)
+			n.Add(1)
+		})
+	}
+	p.Close() // must not return before every queued task ran
+	if got := n.Load(); got != 20 {
+		t.Fatalf("Close returned with %d/20 tasks done", got)
+	}
+}
+
+func TestPoolWaitThenReuse(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var n atomic.Int64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			p.Go(func() { n.Add(1) })
+		}
+		p.Wait()
+		if got := n.Load(); got != int64((round+1)*10) {
+			t.Fatalf("round %d: %d tasks done", round, got)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"ndpgpu/internal/stats"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is admission backpressure: the bounded queue is at
+	// capacity (429 + Retry-After).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrShuttingDown rejects new work during drain (503).
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// Progress is one streaming progress event, fed by the epoch-sampled metrics
+// layer: the simulation has advanced to the given SM cycle / simulated time.
+type Progress struct {
+	Cycles int64 `json:"cycles"`
+	TimePS int64 `json:"time_ps"`
+}
+
+// Outcome is one completed simulation, in the golden-digest format: the
+// flattened counter digest (stats.Digest plus TimePS and EnergyTotalPJ) is
+// the memoized value, the full statistics bundle rides along for clients
+// that rebuild Run structs (ndpsweep -server).
+type Outcome struct {
+	Digest   map[string]float64 `json:"digest"`
+	Stats    *stats.Stats       `json:"stats,omitempty"`
+	TimePS   int64              `json:"time_ps"`
+	EnergyPJ float64            `json:"energy_pj"`
+	Wall     time.Duration      `json:"wall_ns"` // simulation wall time (cold)
+}
+
+// Runner executes one canonical request. progress must be safe to call from
+// the simulation goroutine and cheap (the scheduler fans events out to
+// subscribers without blocking). Implementations must be deterministic in
+// the request: the scheduler memoizes the first Outcome per key forever.
+type Runner func(req *Request, progress func(Progress)) (*Outcome, error)
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers bounds concurrent simulations (default: GOMAXPROCS).
+	Workers int
+	// QueueCap bounds admitted-but-not-yet-running unique requests; beyond
+	// it Submit fails with ErrQueueFull (default 256).
+	QueueCap int
+	// Runner executes requests (required).
+	Runner Runner
+	// RetryAfter is the backpressure hint reported alongside ErrQueueFull
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+// Counters is a snapshot of the scheduler's accounting.
+type Counters struct {
+	Submitted int64 `json:"submitted"`  // Submit calls, including rejected
+	CacheHits int64 `json:"cache_hits"` // served by map lookup
+	Coalesced int64 `json:"coalesced"`  // attached to an in-flight execution
+	Executed  int64 `json:"executed"`   // simulations actually run
+	Errors    int64 `json:"errors"`     // executions that failed
+	Rejected  int64 `json:"rejected"`   // ErrQueueFull + ErrShuttingDown
+
+	Queued      int `json:"queued"`     // admitted, waiting for a worker
+	Running     int `json:"running"`    // executing right now
+	InFlight    int `json:"in_flight"`  // submissions blocked on a result
+	MaxQueued   int `json:"max_queued"` // high-water marks
+	MaxRunning  int `json:"max_running"`
+	MaxInFlight int `json:"max_in_flight"`
+
+	CacheEntries int `json:"cache_entries"`
+	Clients      int `json:"clients"` // clients currently holding queued work
+}
+
+// entry is one admitted unique request: the single execution every duplicate
+// submission coalesces onto.
+type entry struct {
+	req  *Request
+	done chan struct{} // closed after out/err are set
+	out  *Outcome
+	err  error
+	subs []chan<- Progress
+}
+
+// Scheduler is the batched, digest-memoized run scheduler: a bounded worker
+// pool fed round-robin across clients, a coalescing in-flight table, and a
+// forever cache keyed by request digest. A repeated request costs a map
+// lookup; a concurrent duplicate costs a channel wait.
+type Scheduler struct {
+	opts Options
+	pool *Pool
+
+	mu        sync.Mutex
+	cache     map[string]*Outcome
+	inflight  map[string]*entry
+	perClient map[string][]*entry // FIFO per client; key present iff in ring
+	ring      []string            // round-robin order over clients with work
+	ringPos   int
+	closed    bool
+	c         Counters
+}
+
+// New starts a scheduler. Call Shutdown to drain it.
+func New(o Options) *Scheduler {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Runner == nil {
+		panic("serve: Options.Runner is required")
+	}
+	return &Scheduler{
+		opts:      o,
+		pool:      NewPool(o.Workers),
+		cache:     make(map[string]*Outcome),
+		inflight:  make(map[string]*entry),
+		perClient: make(map[string][]*entry),
+	}
+}
+
+// RetryAfter returns the backpressure hint for 429 responses.
+func (s *Scheduler) RetryAfter() time.Duration { return s.opts.RetryAfter }
+
+// Served is the result of one submission plus how it was produced.
+type Served struct {
+	Outcome   *Outcome
+	Cached    bool // map lookup; no simulation ran for this submission
+	Coalesced bool // shared an execution that was already in flight
+}
+
+// Submit runs (or recalls) one canonical request, blocking until the result
+// is available or ctx is canceled. A canceled waiter abandons only the wait:
+// the admitted execution still completes and populates the cache.
+func (s *Scheduler) Submit(ctx context.Context, req *Request) (Served, error) {
+	return s.submit(ctx, req, nil)
+}
+
+// SubmitStream is Submit with a progress subscription: epoch samples from
+// the running simulation are sent to events (non-blocking; a slow consumer
+// misses samples rather than stalling the machine). events is never closed
+// by the scheduler. A cache hit produces no events.
+func (s *Scheduler) SubmitStream(ctx context.Context, req *Request, events chan<- Progress) (Served, error) {
+	return s.submit(ctx, req, events)
+}
+
+func (s *Scheduler) submit(ctx context.Context, req *Request, events chan<- Progress) (Served, error) {
+	s.mu.Lock()
+	s.c.Submitted++
+	if s.closed {
+		s.c.Rejected++
+		s.mu.Unlock()
+		return Served{}, ErrShuttingDown
+	}
+	if out, ok := s.cache[req.Key]; ok {
+		s.c.CacheHits++
+		s.mu.Unlock()
+		return Served{Outcome: out, Cached: true}, nil
+	}
+	if e, ok := s.inflight[req.Key]; ok {
+		s.c.Coalesced++
+		if events != nil {
+			e.subs = append(e.subs, events)
+		}
+		s.incInFlight()
+		s.mu.Unlock()
+		return s.await(ctx, e, true)
+	}
+	if s.c.Queued >= s.opts.QueueCap {
+		s.c.Rejected++
+		s.mu.Unlock()
+		return Served{}, ErrQueueFull
+	}
+	e := &entry{req: req, done: make(chan struct{})}
+	if events != nil {
+		e.subs = append(e.subs, events)
+	}
+	s.inflight[req.Key] = e
+	client := req.Client
+	if client == "" {
+		client = "anon"
+	}
+	if _, ok := s.perClient[client]; !ok {
+		s.ring = append(s.ring, client)
+	}
+	s.perClient[client] = append(s.perClient[client], e)
+	s.c.Queued++
+	if s.c.Queued > s.c.MaxQueued {
+		s.c.MaxQueued = s.c.Queued
+	}
+	s.incInFlight()
+	s.mu.Unlock()
+
+	if !s.pool.Go(s.runNext) {
+		// Lost the race with Shutdown: the pool no longer accepts work.
+		// Roll the entry back so no acknowledged request is silently dropped.
+		s.mu.Lock()
+		s.retract(client, e)
+		s.c.Rejected++
+		s.c.InFlight--
+		s.mu.Unlock()
+		return Served{}, ErrShuttingDown
+	}
+	return s.await(ctx, e, false)
+}
+
+// incInFlight must run under mu.
+func (s *Scheduler) incInFlight() {
+	s.c.InFlight++
+	if s.c.InFlight > s.c.MaxInFlight {
+		s.c.MaxInFlight = s.c.InFlight
+	}
+}
+
+// retract removes a just-admitted entry (Shutdown race); must run under mu.
+func (s *Scheduler) retract(client string, e *entry) {
+	delete(s.inflight, e.req.Key)
+	q := s.perClient[client]
+	for i, qe := range q {
+		if qe == e {
+			s.perClient[client] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(s.perClient[client]) == 0 {
+		delete(s.perClient, client)
+		for i, name := range s.ring {
+			if name == client {
+				s.ring = append(s.ring[:i], s.ring[i+1:]...)
+				if s.ringPos > i {
+					s.ringPos--
+				}
+				break
+			}
+		}
+	}
+	s.c.Queued--
+}
+
+func (s *Scheduler) await(ctx context.Context, e *entry, coalesced bool) (Served, error) {
+	defer func() {
+		s.mu.Lock()
+		s.c.InFlight--
+		s.mu.Unlock()
+	}()
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return Served{}, e.err
+		}
+		return Served{Outcome: e.out, Coalesced: coalesced}, nil
+	case <-ctx.Done():
+		return Served{}, ctx.Err()
+	}
+}
+
+// runNext is the pool task: pick the next entry fairly and execute it. One
+// task is enqueued per admitted entry, so popFair never comes up empty.
+func (s *Scheduler) runNext() {
+	s.mu.Lock()
+	e := s.popFair()
+	if e == nil {
+		s.mu.Unlock()
+		return
+	}
+	s.c.Queued--
+	s.c.Running++
+	if s.c.Running > s.c.MaxRunning {
+		s.c.MaxRunning = s.c.Running
+	}
+	s.mu.Unlock()
+
+	out, err := s.opts.Runner(e.req, func(p Progress) { s.publish(e, p) })
+
+	s.mu.Lock()
+	s.c.Running--
+	if err != nil {
+		// Errors are returned to every waiter but not memoized: a transient
+		// failure (or a fixed workload) should be retriable.
+		e.err = err
+		s.c.Errors++
+	} else {
+		s.cache[e.req.Key] = out
+		s.c.Executed++
+		e.out = out
+	}
+	delete(s.inflight, e.req.Key)
+	s.mu.Unlock()
+	close(e.done)
+}
+
+// popFair removes and returns the next entry round-robin across clients;
+// must run under mu. The invariant throughout: a client has a perClient
+// queue iff it appears in ring exactly once.
+func (s *Scheduler) popFair() *entry {
+	for len(s.ring) > 0 {
+		if s.ringPos >= len(s.ring) {
+			s.ringPos = 0
+		}
+		name := s.ring[s.ringPos]
+		q := s.perClient[name]
+		e := q[0]
+		q[0] = nil
+		if len(q) == 1 {
+			delete(s.perClient, name)
+			s.ring = append(s.ring[:s.ringPos], s.ring[s.ringPos+1:]...)
+		} else {
+			s.perClient[name] = q[1:]
+			s.ringPos++
+		}
+		return e
+	}
+	return nil
+}
+
+// publish fans one progress event out to the entry's subscribers,
+// non-blocking: a full subscriber channel drops the sample (progress is a
+// UI hint, not a record).
+func (s *Scheduler) publish(e *entry, p Progress) {
+	s.mu.Lock()
+	subs := make([]chan<- Progress, len(e.subs))
+	copy(subs, e.subs)
+	s.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+// Snapshot returns current counters.
+func (s *Scheduler) Snapshot() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.c
+	c.CacheEntries = len(s.cache)
+	c.Clients = len(s.perClient)
+	return c
+}
+
+// CachedKeys reports how many distinct results are memoized.
+func (s *Scheduler) CachedKeys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// Shutdown stops admission and drains: every acknowledged request — queued
+// or running — completes and its waiters are notified before Shutdown
+// returns. Safe to call more than once.
+func (s *Scheduler) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.pool.Close() // idempotent; every caller waits for the drain
+}

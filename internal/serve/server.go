@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxBodyBytes bounds a /run request body; a full Config is ~2 KB.
+const maxBodyBytes = 1 << 20
+
+// RunResponse is the wire form of one served result.
+type RunResponse struct {
+	Key       string             `json:"key"`
+	Workload  string             `json:"workload"`
+	Mode      string             `json:"mode"` // canonical mode spelling
+	Scale     int                `json:"scale"`
+	Cached    bool               `json:"cached"`
+	Coalesced bool               `json:"coalesced,omitempty"`
+	TimePS    int64              `json:"time_ps"`
+	EnergyPJ  float64            `json:"energy_pj"`
+	SimWallMS float64            `json:"sim_wall_ms"` // cold simulation cost (also on cache hits)
+	Digest    map[string]float64 `json:"digest"`
+	Stats     json.RawMessage    `json:"stats,omitempty"` // full statistics bundle
+}
+
+// errorBody is the JSON error envelope every non-200 carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server is the stdlib HTTP front end over a Scheduler.
+//
+//	POST /run      — submit a run; ?stream=1 or Accept: text/event-stream
+//	                 upgrades to SSE progress + final result
+//	GET  /status   — scheduler counters as JSON
+//	GET  /metrics  — the same counters, one "ndpserve_<name> <value>" per line
+//	GET  /healthz  — liveness
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wraps a scheduler in the HTTP API.
+func NewServer(s *Scheduler) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux(), start: time.Now()}
+	srv.mux.HandleFunc("/run", srv.handleRun)
+	srv.mux.HandleFunc("/status", srv.handleStatus)
+	srv.mux.HandleFunc("/metrics", srv.handleMetrics)
+	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST a run request"})
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{"request body too large"})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{"reading request body: " + err.Error()})
+		}
+		return
+	}
+	req, err := ParseRunRequest(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	if req.Client == "" {
+		req.Client = clientID(r)
+	}
+
+	if wantsStream(r) {
+		s.streamRun(w, r, req)
+		return
+	}
+
+	served, err := s.sched.Submit(r.Context(), req)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildResponse(req, served))
+}
+
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(s.sched.RetryAfter().Round(time.Second)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client went away; nothing useful to write.
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+	}
+}
+
+func buildResponse(req *Request, served Served) *RunResponse {
+	out := served.Outcome
+	resp := &RunResponse{
+		Key:       req.Key,
+		Workload:  req.Workload,
+		Mode:      req.ModeSpec,
+		Scale:     req.Scale,
+		Cached:    served.Cached,
+		Coalesced: served.Coalesced,
+		TimePS:    out.TimePS,
+		EnergyPJ:  out.EnergyPJ,
+		SimWallMS: float64(out.Wall) / float64(time.Millisecond),
+		Digest:    out.Digest,
+	}
+	if out.Stats != nil {
+		if raw, err := json.Marshal(out.Stats); err == nil {
+			resp.Stats = raw
+		}
+	}
+	return resp
+}
+
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// streamRun serves one request as Server-Sent Events: zero or more
+// "progress" events (epoch samples from the running simulation), then one
+// "result" event carrying the same JSON a plain POST returns, or one
+// "error" event.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, req *Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorBody{"streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	events := make(chan Progress, 64)
+	type doneMsg struct {
+		served Served
+		err    error
+	}
+	doneCh := make(chan doneMsg, 1)
+	go func() {
+		served, err := s.sched.SubmitStream(r.Context(), req, events)
+		doneCh <- doneMsg{served, err}
+	}()
+
+	emit := func(event string, v any) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case p := <-events:
+			emit("progress", p)
+		case d := <-doneCh:
+			// Drain any progress that raced the completion.
+			for {
+				select {
+				case p := <-events:
+					emit("progress", p)
+					continue
+				default:
+				}
+				break
+			}
+			if d.err != nil {
+				emit("error", errorBody{d.err.Error()})
+				return
+			}
+			emit("result", buildResponse(req, d.served))
+			return
+		case <-r.Context().Done():
+			// Client hung up; the scheduler-side waiter exits on the same
+			// context, and the execution (if admitted) still completes.
+			return
+		}
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap := s.sched.Snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		UptimeSec float64  `json:"uptime_sec"`
+		Counters  Counters `json:"counters"`
+	}{time.Since(s.start).Seconds(), snap})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.sched.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ndpserve_submitted_total %d\n", c.Submitted)
+	fmt.Fprintf(w, "ndpserve_cache_hits_total %d\n", c.CacheHits)
+	fmt.Fprintf(w, "ndpserve_coalesced_total %d\n", c.Coalesced)
+	fmt.Fprintf(w, "ndpserve_executed_total %d\n", c.Executed)
+	fmt.Fprintf(w, "ndpserve_errors_total %d\n", c.Errors)
+	fmt.Fprintf(w, "ndpserve_rejected_total %d\n", c.Rejected)
+	fmt.Fprintf(w, "ndpserve_queue_depth %d\n", c.Queued)
+	fmt.Fprintf(w, "ndpserve_running %d\n", c.Running)
+	fmt.Fprintf(w, "ndpserve_in_flight %d\n", c.InFlight)
+	fmt.Fprintf(w, "ndpserve_queue_depth_max %d\n", c.MaxQueued)
+	fmt.Fprintf(w, "ndpserve_in_flight_max %d\n", c.MaxInFlight)
+	fmt.Fprintf(w, "ndpserve_cache_entries %d\n", c.CacheEntries)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// clientID derives a fairness identity when the request body carries none:
+// the X-Client header, else the remote host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

@@ -41,3 +41,24 @@ func ParseMode(name string, cfg config.Config) (Mode, config.Config, error) {
 		return Mode{}, cfg, fmt.Errorf("unknown mode %q (valid: %s)", name, ModeUsage)
 	}
 }
+
+// SpecFor maps a Mode back to a CLI spelling ParseMode accepts, keyed purely
+// by the mode's mechanism flags — the inverse ndpserve clients use to ship a
+// locally-constructed Mode over the wire. Display names are not round-tripped
+// ("Baseline_MoreCore" maps to "baseline": its SM-count adjustment lives in
+// the Config the request carries, and re-spelling it "morecore" would apply
+// the adjustment a second time server-side).
+func SpecFor(m Mode) string {
+	switch {
+	case !m.NDP:
+		return "baseline"
+	case m.Always:
+		return "naive"
+	case m.Dynamic && m.Cache:
+		return "dyncache"
+	case m.Dynamic:
+		return "dyn"
+	default:
+		return fmt.Sprintf("static=%g", m.Static)
+	}
+}
