@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke test-parallel test-parallel-fused golden golden-update serve-test load-test clean
+.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke test-parallel test-parallel-fused golden golden-update serve-test load-test chaos-serve clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,7 @@ lint:
 # a change out.
 check: build vet test-short
 	$(GO) test -race -short -timeout 20m ./internal/sim ./internal/noc ./internal/timing
+	$(GO) test -race -short -run '^TestChaosServe$$' -timeout 15m ./cmd/ndpserve
 
 # Invariant audit: every Table 1 workload under baseline, naive-NDP, and
 # dynamic-NDP with all runtime invariant checkers enabled (internal/audit),
@@ -122,6 +123,18 @@ serve-test:
 load-test:
 	NDPSERVE_LOAD_OUT=$(CURDIR)/load_test_summary.json $(GO) test -run '^TestLoadServe$$' -timeout 15m -v ./internal/serve
 	@echo "load_test_summary.json written"
+
+# Kill-and-restart chaos harness over the real server binary: concurrent load
+# of real simulations, SIGKILL at jittered points, restart on the same -data
+# dir, then assert the recovery invariants — every acknowledged result is
+# served from the journal cache byte-identical to the committed golden digests
+# with zero re-simulation, injected panics/hangs return structured 500s and
+# quarantine their key after K failures, and SIGTERM still drains cleanly.
+# Writes the recovery summary CI uploads as an artifact. `make check` runs the
+# one-round -short form.
+chaos-serve:
+	NDPSERVE_CHAOS_OUT=$(CURDIR)/chaos_serve_summary.json $(GO) test -race -run '^TestChaosServe$$' -timeout 20m -v ./cmd/ndpserve
+	@echo "chaos_serve_summary.json written"
 
 # One-iteration benchmark smoke with the ±25% gate against the recorded
 # reference (fails only on slowdowns; a faster host just warns).

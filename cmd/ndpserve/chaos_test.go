@@ -1,0 +1,542 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"ndpgpu/internal/experiments"
+	"ndpgpu/internal/serve"
+	"ndpgpu/internal/sim"
+)
+
+// TestChaosServe is the kill-and-restart chaos harness (`make chaos-serve`):
+// it builds the real server binary, drives concurrent load of real
+// simulations against it, SIGKILLs it mid-load, restarts it on the same
+// -data dir, and asserts the recovery invariants:
+//
+//   - every result acknowledged before the kill is served from the journal
+//     after restart — cached, byte-identical, zero re-simulation (run
+//     counters stay at zero);
+//   - golden legs recover byte-identical to testdata/golden_digests.json;
+//   - a panicking or hung run returns a structured 500 and never crashes the
+//     server, and its key is quarantined after K failures, visible in /status;
+//   - SIGTERM still drains cleanly at the end.
+//
+// In -short mode (wired into `make check`) it runs one kill round over a
+// reduced key set; the full run (`make chaos-serve`) does more rounds.
+func TestChaosServe(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL/SIGTERM semantics are POSIX")
+	}
+	bin := buildServerBinary(t)
+	rounds, extraSeeds := 3, 3
+	if testing.Short() {
+		rounds, extraSeeds = 1, 1
+	}
+	dataDir := t.TempDir()
+	golden := loadGoldenDigests(t)
+	cfgJSON, err := json.Marshal(sim.AuditConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The key set: the three VADD golden legs (checked against the committed
+	// regression digests) plus seed-varied dyn legs for key diversity. All
+	// are real simulations on the audit configuration — cheap but genuine.
+	type leg struct {
+		name      string
+		body      string
+		goldenKey string
+	}
+	var legs []leg
+	for _, m := range []struct{ spec, name string }{
+		{"baseline", sim.Baseline.Name},
+		{"naive", sim.NaiveNDP.Name},
+		{"dyn", sim.DynNDP.Name},
+	} {
+		legs = append(legs, leg{
+			name:      "VADD/" + m.spec,
+			body:      fmt.Sprintf(`{"workload":"VADD","mode":%q,"config":%s,"client":"load"}`, m.spec, cfgJSON),
+			goldenKey: experiments.GoldenKey("VADD", m.name),
+		})
+	}
+	for s := 1; s <= extraSeeds; s++ {
+		legs = append(legs, leg{
+			name: fmt.Sprintf("VADD/dyn/seed=%d", s),
+			body: fmt.Sprintf(`{"workload":"VADD","mode":"dyn","seed":%d,"config":%s,"client":"load"}`, s, cfgJSON),
+		})
+	}
+
+	// Load and recovery instances keep the default (generous) watchdog: real
+	// simulations under a race-instrumented binary can spend seconds building
+	// the workload before the first epoch sample. The fault-injection probes
+	// at the end run a dedicated instance with tight watchdog windows — those
+	// never execute a real simulation.
+	serverArgs := []string{
+		"-data", dataDir, "-chaos", "-workers", "4", "-queue", "256",
+		"-poisonk", "2", "-poisonttl", "5m",
+	}
+	probeArgs := append(append([]string{}, serverArgs...),
+		"-runtimeout", "30s", "-stalltimeout", "2s")
+
+	// completed records the digest of every response acknowledged before a
+	// kill: acknowledgment implies the journal fsync finished, so each one
+	// MUST survive the kill.
+	completed := map[string]map[string]float64{}
+	var mu sync.Mutex
+	var killWaits []float64
+
+	for r := 0; r < rounds; r++ {
+		proc := startServerProc(t, bin, serverArgs)
+		waitHTTPReady(t, proc.base)
+
+		mu.Lock()
+		prevCompleted := len(completed)
+		mu.Unlock()
+
+		var wg sync.WaitGroup
+		var pending, acked atomic.Int64
+		pending.Store(int64(len(legs)))
+		for _, l := range legs {
+			l, r := l, r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rr, err := postRunOnce(proc.base, l.body)
+				pending.Add(-1)
+				if err != nil {
+					// Killed mid-request: losing in-flight runs is allowed.
+					t.Logf("round %d %s lost in flight: %v", r, l.name, err)
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if prev, ok := completed[l.name]; ok {
+					assertDigestEqual(t, l.name+" across restarts", rr.Digest, prev)
+				}
+				completed[l.name] = rr.Digest
+				acked.Add(1)
+			}()
+		}
+
+		// Kill once at least one NEW result has been acknowledged this round —
+		// cached replays of prior rounds' results don't count, so every round
+		// grows the journal before the cut (an acknowledgment implies its
+		// append was durable). The jittered sleep varies the cut offset.
+		killStart := time.Now()
+		waitStatusCond(t, proc.base, "a newly acknowledged result",
+			func(serve.Counters) bool { return acked.Load() > int64(prevCompleted) },
+			func() bool { return pending.Load() == 0 })
+		time.Sleep(time.Duration(rand.Intn(150)) * time.Millisecond)
+		proc.kill()
+		killWaits = append(killWaits, float64(time.Since(killStart))/float64(time.Millisecond))
+		wg.Wait()
+	}
+	if len(completed) == 0 {
+		t.Fatal("no leg completed before any kill; the harness never exercised recovery")
+	}
+
+	// Recovery: restart on the same journal and verify the invariants.
+	proc := startServerProc(t, bin, serverArgs)
+	defer proc.ensureStopped()
+	waitHTTPReady(t, proc.base)
+	if !strings.Contains(proc.output(), "journal replayed") {
+		t.Fatalf("restart printed no replay summary:\n%s", proc.output())
+	}
+
+	st := getStatus(t, proc.base)
+	if st.Counters.Executed != 0 {
+		t.Fatalf("restarted server executed %d runs before any request", st.Counters.Executed)
+	}
+	if st.Counters.Recovered < int64(len(completed)) {
+		t.Fatalf("journal recovered %d results, want >= %d acknowledged pre-kill",
+			st.Counters.Recovered, len(completed))
+	}
+	if st.Journal == nil || st.Journal.Replay.Records < len(completed) {
+		t.Fatalf("/status journal section: %+v", st.Journal)
+	}
+
+	// Every acknowledged result is served from the restored cache,
+	// byte-identical, with zero re-simulation.
+	for _, l := range legs {
+		mu.Lock()
+		want, wasCompleted := completed[l.name]
+		mu.Unlock()
+		if !wasCompleted {
+			continue
+		}
+		rr, err := postRunOnce(proc.base, l.body)
+		if err != nil {
+			t.Fatalf("%s after restart: %v", l.name, err)
+		}
+		if !rr.Cached {
+			t.Fatalf("%s: journaled result not served from cache after restart", l.name)
+		}
+		assertDigestEqual(t, l.name+" recovery", rr.Digest, want)
+		if l.goldenKey != "" {
+			assertDigestEqual(t, l.name+" vs golden", rr.Digest, golden[l.goldenKey])
+		}
+	}
+	if c := getStatus(t, proc.base).Counters; c.Executed != 0 {
+		t.Fatalf("restart re-simulated %d journaled keys, want 0", c.Executed)
+	}
+
+	// Legs that never completed pre-kill execute now and still match golden.
+	for _, l := range legs {
+		mu.Lock()
+		_, wasCompleted := completed[l.name]
+		mu.Unlock()
+		if wasCompleted {
+			continue
+		}
+		rr, err := postRunOnce(proc.base, l.body)
+		if err != nil {
+			t.Fatalf("%s cold after restart: %v", l.name, err)
+		}
+		if l.goldenKey != "" {
+			assertDigestEqual(t, l.name+" vs golden", rr.Digest, golden[l.goldenKey])
+		}
+	}
+
+	// The recovery instance drains cleanly on SIGTERM.
+	if err := proc.terminate(); err != nil {
+		t.Fatalf("SIGTERM drain of recovery instance: %v\n%s", err, proc.output())
+	}
+
+	// Fault-injection probes on a fresh instance over the same journal, with
+	// tight watchdog windows (the injected faults fire before any simulation
+	// starts, so no real run races the 2s stall guard).
+	proc = startServerProc(t, bin, probeArgs)
+	waitHTTPReady(t, proc.base)
+
+	// Panic isolation + quarantine over HTTP: two injected panics (structured
+	// 500s), then the breaker opens (503 + Retry-After) and the key shows up
+	// in /status. The server keeps serving.
+	poison := fmt.Sprintf(`{"workload":"VADD","mode":"dyn","seed":777001,"config":%s,"client":%q}`,
+		cfgJSON, serve.ChaosPanicClient)
+	for i := 0; i < 2; i++ {
+		code, body := postRaw(t, proc.base, poison)
+		if code != http.StatusInternalServerError || !strings.Contains(body, "panicked") {
+			t.Fatalf("injected panic %d: status %d body %s", i, code, body)
+		}
+	}
+	code, body := postRaw(t, proc.base, poison)
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "quarantined") {
+		t.Fatalf("quarantine: status %d body %s", code, body)
+	}
+	if st := getStatus(t, proc.base); len(st.Quarantine) != 1 || st.Counters.Panics != 2 {
+		t.Fatalf("quarantine not visible in /status: %+v %+v", st.Quarantine, st.Counters)
+	}
+
+	// A hung run (no progress, ignores everything but cooperative cancel) is
+	// killed by the stall watchdog as a structured 500 — no worker is lost.
+	hang := fmt.Sprintf(`{"workload":"VADD","mode":"dyn","seed":777002,"config":%s,"client":%q}`,
+		cfgJSON, serve.ChaosHangClient)
+	code, body = postRaw(t, proc.base, hang)
+	if code != http.StatusInternalServerError || !strings.Contains(body, "progress") {
+		t.Fatalf("hung run: status %d body %s", code, body)
+	}
+
+	// The server is still fully alive after all injected chaos.
+	if rr, err := postRunOnce(proc.base, legs[0].body); err != nil || !rr.Cached {
+		t.Fatalf("healthy request after chaos: %+v %v", rr, err)
+	}
+
+	// Graceful exit: SIGTERM drains and reports.
+	if err := proc.terminate(); err != nil {
+		t.Fatalf("SIGTERM drain: %v\n%s", err, proc.output())
+	}
+	if out := proc.output(); !strings.Contains(out, "drained") {
+		t.Fatalf("no drain summary after SIGTERM:\n%s", out)
+	}
+
+	writeChaosSummary(t, map[string]any{
+		"schema":                 "ndpserve-chaos-v1",
+		"rounds":                 rounds,
+		"legs":                   len(legs),
+		"completed_before_kills": len(completed),
+		"recovered":              st.Counters.Recovered,
+		"replay":                 st.Journal.Replay,
+		"kill_wait_ms":           killWaits,
+		"short":                  testing.Short(),
+		"quarantine_verified":    true,
+		"watchdog_verified":      true,
+		"golden_digest_verified": true,
+		"zero_resimulation":      true,
+		"sigterm_drain_verified": true,
+	})
+}
+
+// buildServerBinary compiles cmd/ndpserve into a temp dir, with the race
+// detector when the toolchain supports it here.
+func buildServerBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ndpserve")
+	cmd := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Logf("race-instrumented build unavailable (%v); building plain:\n%s", err, out)
+		cmd = exec.Command("go", "build", "-o", bin, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building server binary: %v\n%s", err, out)
+		}
+	}
+	return bin
+}
+
+// serverProc is one running server subprocess with captured output.
+type serverProc struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string
+
+	done    chan struct{} // closed once the process is reaped
+	waitErr error         // valid after done is closed
+
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^\s]+)`)
+
+func (p *serverProc) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	p.buf.Write(b)
+	p.mu.Unlock()
+	return len(b), nil
+}
+
+func (p *serverProc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+// startServerProc launches the binary on an ephemeral port and waits for its
+// listen address.
+func startServerProc(t *testing.T, bin string, args []string) *serverProc {
+	t.Helper()
+	p := &serverProc{t: t, done: make(chan struct{})}
+	p.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	p.cmd.Stdout = p
+	p.cmd.Stderr = p
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { p.waitErr = p.cmd.Wait(); close(p.done) }()
+	t.Cleanup(p.ensureStopped)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(p.output()); m != nil {
+			p.base = "http://" + m[1]
+			return p
+		}
+		select {
+		case <-p.done:
+			t.Fatalf("server exited before listening (%v):\n%s", p.waitErr, p.output())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("server never reported its listen address:\n%s", p.output())
+	return nil
+}
+
+// kill SIGKILLs the process — the crash under test — and reaps it.
+func (p *serverProc) kill() {
+	p.t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		p.t.Fatalf("SIGKILL: %v", err)
+	}
+	<-p.done
+}
+
+// terminate sends SIGTERM and waits for a clean exit.
+func (p *serverProc) terminate() error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-p.done:
+		return p.waitErr
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("server did not drain within 60s")
+	}
+}
+
+// ensureStopped reaps the process if a test failure left it running.
+func (p *serverProc) ensureStopped() {
+	select {
+	case <-p.done:
+	default:
+		p.cmd.Process.Kill()
+		<-p.done
+	}
+}
+
+// waitHTTPReady polls /readyz until the server accepts runs (journal replay
+// finished).
+func waitHTTPReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never became ready", base)
+}
+
+type statusDoc struct {
+	Ready      bool                    `json:"ready"`
+	Counters   serve.Counters          `json:"counters"`
+	Quarantine []serve.QuarantineEntry `json:"quarantine"`
+	Journal    *serve.JournalStats     `json:"journal"`
+}
+
+func getStatus(t *testing.T, base string) statusDoc {
+	t.Helper()
+	resp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitStatusCond polls /status until cond holds, stop reports true, or the
+// wait times out. Transient HTTP errors are tolerated (the server may be
+// mid-kill).
+func waitStatusCond(t *testing.T, base, what string, cond func(serve.Counters) bool, stop func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		if stop != nil && stop() {
+			return
+		}
+		resp, err := http.Get(base + "/status")
+		if err == nil {
+			var st statusDoc
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if derr == nil && cond(st.Counters) {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// postRunOnce submits one run with no client-side retry (the harness drives
+// raw HTTP so a kill surfaces as an error, not a transparent retry).
+func postRunOnce(base, body string) (*serve.RunResponse, error) {
+	hc := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := hc.Post(base+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	var rr serve.RunResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+// postRaw returns the raw status code and body of one /run POST.
+func postRaw(t *testing.T, base, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+func loadGoldenDigests(t *testing.T) map[string]map[string]float64 {
+	t.Helper()
+	data, err := os.ReadFile("../../testdata/golden_digests.json")
+	if err != nil {
+		t.Fatalf("reading golden digests: %v", err)
+	}
+	var golden map[string]map[string]float64
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	return golden
+}
+
+// assertDigestEqual requires two digests to be byte-identical (every counter
+// exact), reporting each divergence.
+func assertDigestEqual(t *testing.T, leg string, got, want map[string]float64) {
+	t.Helper()
+	if want == nil {
+		t.Fatalf("%s: no reference digest", leg)
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: digest missing %s", leg, k)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: %s = %v, want %v", leg, k, g, w)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: digest has unexpected key %s", leg, k)
+		}
+	}
+}
+
+// writeChaosSummary emits the recovery summary JSON CI uploads as an
+// artifact, when NDPSERVE_CHAOS_OUT is set.
+func writeChaosSummary(t *testing.T, summary map[string]any) {
+	t.Helper()
+	path := os.Getenv("NDPSERVE_CHAOS_OUT")
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(summary, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("writing chaos summary: %v", err)
+	}
+	t.Logf("chaos summary written to %s", path)
+}

@@ -6,22 +6,31 @@
 //
 // Usage:
 //
-//	ndpserve -addr :8347 -workers 8 -queue 1024
+//	ndpserve -addr :8347 -workers 8 -queue 1024 -data /var/lib/ndpserve
 //
 // Endpoints:
 //
 //	POST /run      submit a run; ?stream=1 upgrades to SSE progress events
-//	GET  /status   scheduler counters (JSON)
+//	GET  /status   scheduler counters, quarantine, journal state (JSON)
 //	GET  /metrics  the same counters, one per line
 //	GET  /healthz  liveness
+//	GET  /readyz   readiness (journal replayed, not draining)
 //
 // Example:
 //
 //	curl -s localhost:8347/run -d '{"workload":"VADD","mode":"dyn"}'
 //
-// SIGINT/SIGTERM drain gracefully: admission stops (503), every
-// acknowledged request — queued or running — completes and is answered,
-// then the process exits.
+// Crash safety: with -data, every completed result is appended to a
+// checksummed, fsync-batched journal and replayed on startup, so kill -9
+// loses at most the in-flight runs. Panicking or hung runs are isolated
+// (structured 500; the -runtimeout/-stalltimeout watchdog cancels wedged
+// engines) and a key that poisons workers -poisonk times is quarantined for
+// -poisonttl.
+//
+// SIGINT/SIGTERM drain gracefully: readiness goes false, active SSE streams
+// get a final "shutdown" event, admission stops (503), every acknowledged
+// request — queued or running — completes and is answered, then the process
+// exits.
 package main
 
 import (
@@ -62,6 +71,12 @@ func run(args []string, w, werr io.Writer, stop <-chan struct{}, ready func(addr
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 		queue   = fs.Int("queue", 1024, "admission queue capacity (429 beyond it)")
 		retry   = fs.Duration("retryafter", time.Second, "Retry-After hint on backpressure")
+		dataDir = fs.String("data", "", "durable journal directory (empty: results are memoized in memory only)")
+		runTO   = fs.Duration("runtimeout", 10*time.Minute, "cancel a run past this wall-clock deadline (0 disables)")
+		stallTO = fs.Duration("stalltimeout", 2*time.Minute, "cancel a run with no progress sample for this long (0 disables)")
+		poisonK = fs.Int("poisonk", 3, "quarantine a key after this many panics/hangs")
+		poisonT = fs.Duration("poisonttl", 10*time.Minute, "how long a quarantined key is refused")
+		chaos   = fs.Bool("chaos", false, "enable client-triggered fault injection (chaos harness only)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -76,19 +91,45 @@ func run(args []string, w, werr io.Writer, stop <-chan struct{}, ready func(addr
 	}
 	defer stopProf()
 
+	var journal *serve.Journal
+	if *dataDir != "" {
+		journal, err = serve.OpenJournal(*dataDir)
+		if err != nil {
+			fmt.Fprintln(werr, "ndpserve:", err)
+			return 1
+		}
+		defer journal.Close()
+	}
+
+	runner := experiments.ServeRunner()
+	if *chaos {
+		fmt.Fprintln(w, "ndpserve: CHAOS MODE — client-triggered fault injection enabled")
+		runner = serve.ChaosRunner(runner)
+	}
 	sched := serve.New(serve.Options{
-		Workers:    *workers,
-		QueueCap:   *queue,
-		Runner:     experiments.ServeRunner(),
-		RetryAfter: *retry,
+		Workers:      *workers,
+		QueueCap:     *queue,
+		Runner:       runner,
+		RetryAfter:   *retry,
+		RunTimeout:   *runTO,
+		StallTimeout: *stallTO,
+		PoisonK:      *poisonK,
+		PoisonTTL:    *poisonT,
+		Journal:      journal,
 	})
-	srv := &http.Server{Handler: serve.NewServer(sched)}
+	front := serve.NewServer(sched)
+	srv := &http.Server{Handler: front}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(werr, "ndpserve:", err)
+		sched.Shutdown()
 		return 1
 	}
+	// Not ready until the journal is replayed: /healthz is live the moment
+	// the listener is up, but /run and /readyz answer 503 so a load balancer
+	// doesn't route work into the replay window.
+	front.SetReady(false)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -98,6 +139,20 @@ func run(args []string, w, werr io.Writer, stop <-chan struct{}, ready func(addr
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
+	if journal != nil {
+		recovered, rst, err := journal.Replay()
+		if err != nil {
+			fmt.Fprintln(werr, "ndpserve: journal replay:", err)
+			sched.Shutdown()
+			srv.Close()
+			return 1
+		}
+		n := sched.Restore(recovered)
+		fmt.Fprintf(w, "ndpserve: journal replayed %d records in %.1f ms (%d restored, %d duplicate, %d torn bytes truncated)\n",
+			rst.Records, rst.ReplayMS, n, rst.Duplicates, rst.TruncatedBytes)
+	}
+	front.SetReady(true)
+
 	select {
 	case err := <-errCh:
 		fmt.Fprintln(werr, "ndpserve:", err)
@@ -106,10 +161,13 @@ func run(args []string, w, werr io.Writer, stop <-chan struct{}, ready func(addr
 	case <-stop:
 	}
 
-	// Drain: stop admitting (every new submit gets 503), finish every
-	// acknowledged run, then close the HTTP side, whose in-flight handlers
-	// have all been answered by the drain.
+	// Drain: readiness off and SSE streams closed with a "shutdown" event,
+	// then stop admitting (every new submit gets 503), finish every
+	// acknowledged run, and close the HTTP side, whose in-flight handlers
+	// have all been answered by the drain. The journal closes last (deferred)
+	// so the final batch of results is durable.
 	fmt.Fprintln(w, "ndpserve: draining...")
+	front.BeginDrain()
 	sched.Shutdown()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

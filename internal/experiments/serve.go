@@ -21,8 +21,11 @@ import (
 // strict no-op on results by contract (TestMetricsDisabledNoOp), so enabling
 // it for streaming cannot perturb the digest the cache memoizes.
 func ServeRunner() serve.Runner {
-	return func(req *serve.Request, progress func(serve.Progress)) (*serve.Outcome, error) {
+	return func(rc *serve.RunCtx, req *serve.Request, progress func(serve.Progress)) (*serve.Outcome, error) {
 		prep := func(m *sim.Machine) {
+			// Hand the watchdog its stop hook: a deadline or stall verdict
+			// cancels the engine cooperatively at its next step barrier.
+			rc.OnCancel(m.Cancel)
 			if progress == nil {
 				return
 			}

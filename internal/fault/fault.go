@@ -23,6 +23,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -144,7 +145,9 @@ func New(fc config.FaultConfig, numHMCs, numVaults, dims int, ring bool) *Inject
 	}
 	for _, ev := range fc.Events {
 		inj.edges = append(inj.edges, edge{at: ev.AtPS, ev: ev, start: true})
-		if ev.DurPS > 0 {
+		if ev.DurPS > 0 && ev.AtPS <= math.MaxInt64-ev.DurPS {
+			// A window whose end overflows int64 never closes: emit only the
+			// start edge, same as an explicit permanent event.
 			inj.edges = append(inj.edges, edge{at: ev.AtPS + ev.DurPS, ev: ev, start: false})
 		}
 	}
@@ -310,6 +313,9 @@ func Backoff(baseCycles int64, attempt int) int64 {
 	if attempt > 16 {
 		attempt = 16 // clamp: beyond this the shift overflows any real run
 	}
+	if baseCycles > math.MaxInt64>>uint(attempt) {
+		return math.MaxInt64 // saturate: a timeout beyond the run is "never"
+	}
 	return baseCycles << uint(attempt)
 }
 
@@ -319,7 +325,11 @@ func Backoff(baseCycles int64, attempt int) int64 {
 func TotalWindow(baseCycles int64, maxRetries int) int64 {
 	var t int64
 	for a := 0; a <= maxRetries; a++ {
-		t += Backoff(baseCycles, a)
+		b := Backoff(baseCycles, a)
+		if t > math.MaxInt64-b {
+			return math.MaxInt64 // saturate rather than wrap negative
+		}
+		t += b
 	}
 	return t
 }

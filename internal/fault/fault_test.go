@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -301,5 +302,161 @@ func TestRandomEventsValid(t *testing.T) {
 		if err := fc.Validate(8, 16); err != nil {
 			t.Errorf("seed %d: invalid random schedule: %v", seed, err)
 		}
+	}
+}
+
+func TestEmptyScheduleRoundTrip(t *testing.T) {
+	// An empty schedule — however it is spelled — must round-trip to a
+	// disabled FaultConfig: the zero-cost contract hinges on Enabled()
+	// being false so no Injector is ever constructed.
+	for _, spec := range []string{"", " ", ";", " ; ; ", ";;;"} {
+		fc, err := Parse(spec, 8, 16)
+		if err != nil {
+			t.Errorf("Parse(%q) rejected an empty schedule: %v", spec, err)
+			continue
+		}
+		if len(fc.Events) != 0 {
+			t.Errorf("Parse(%q) produced %d events, want 0", spec, len(fc.Events))
+		}
+		if fc.Enabled() {
+			t.Errorf("Parse(%q): empty schedule reports Enabled", spec)
+		}
+		if err := fc.Validate(8, 16); err != nil {
+			t.Errorf("Parse(%q): empty schedule fails Validate: %v", spec, err)
+		}
+		// Even if a caller violates the nil-pointer contract and builds an
+		// injector anyway, it must be inert: no edges, no next event.
+		inj := New(fc, 8, 16, 3, false)
+		if at := inj.NextEventAt(); at != timing.Never {
+			t.Errorf("Parse(%q): empty injector has an edge at %d", spec, at)
+		}
+		if d, c := inj.DrawDrop(); d || c {
+			t.Errorf("Parse(%q): empty injector dropped a packet", spec)
+		}
+	}
+}
+
+func TestOverlappingWindowsOneLink(t *testing.T) {
+	// Two overlapping down-windows on the same link. Edge application is a
+	// boolean write, not a counter: the first window's end edge revives the
+	// link at t=2000 even though the second window [1500,2500) is still
+	// open, and the second end edge at t=2500 is then a no-op. This is the
+	// documented semantics — schedules wanting a continuous outage should
+	// use one window — and this test pins it so a change is deliberate.
+	inj := mkInjector(t,
+		"linkdown:t=1000:hmc=0:dim=0:dur=1000;"+
+			"linkdown:t=1500:hmc=0:dim=0:dur=1000")
+	v0 := inj.TopoVersion(0)
+	steps := []struct {
+		now  timing.PS
+		dead bool
+	}{
+		{999, false},  // before either window
+		{1000, true},  // first start edge
+		{1499, true},  // still inside window one
+		{1500, true},  // second start edge (already-down link stays down)
+		{1999, true},  // both windows open
+		{2000, false}, // first END edge wins: boolean semantics revive the link
+		{2499, false}, // stays up despite window two nominally covering this
+		{2500, false}, // second end edge is a no-op
+		{9999, false}, // long after
+	}
+	for _, s := range steps {
+		if got := inj.LinkDead(s.now, 0, 0); got != s.dead {
+			t.Errorf("LinkDead at %d = %v, want %v", s.now, got, s.dead)
+		}
+	}
+	// Every one of the four edges flips a link bit, so each bumps the
+	// topology version — including the no-op second end edge, which is a
+	// write of the value already present but still invalidates routes.
+	if v1 := inj.TopoVersion(9999); v1-v0 != 4 {
+		t.Errorf("topology version advanced by %d across 4 link edges, want 4", v1-v0)
+	}
+}
+
+func TestZeroDurationEvents(t *testing.T) {
+	// dur=0 means "permanent" for the kinds where that is physical
+	// (linkdown, nsufail) and is rejected by validation for the kinds that
+	// are windows by definition (nsustall, vaultfreeze).
+	inj := mkInjector(t, "linkdown:t=500:hmc=0:dim=0")
+	if inj.LinkDead(499, 0, 0) {
+		t.Error("permanent linkdown active before its start edge")
+	}
+	for _, now := range []timing.PS{500, 1 << 20, 1 << 40, math.MaxInt64} {
+		if !inj.LinkDead(now, 0, 0) {
+			t.Errorf("zero-duration linkdown not permanent at %d", now)
+		}
+	}
+
+	rejected := []struct {
+		spec string
+		why  string
+	}{
+		{"nsustall:t=1:hmc=0:dur=0", "a stall with no window is meaningless"},
+		{"vaultfreeze:t=1:hmc=0:vault=0:dur=0", "a freeze with no window is meaningless"},
+		{"nsustall:t=1:hmc=0", "omitted dur defaults to 0 and is equally invalid"},
+	}
+	for _, c := range rejected {
+		if _, err := Parse(c.spec, 8, 16); err == nil {
+			t.Errorf("Parse(%q) accepted a zero-duration window (%s)", c.spec, c.why)
+		}
+	}
+}
+
+func TestMaxBounds(t *testing.T) {
+	// Saturation at the int64 ceiling: timestamps, backoff shifts, and
+	// window sums must clamp to MaxInt64 ("never"), not wrap negative —
+	// a negative deadline would fire instantly and poison retry logic.
+	cases := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"Backoff saturates", Backoff(math.MaxInt64/2, 2), math.MaxInt64},
+		{"Backoff at exact ceiling", Backoff(math.MaxInt64, 0), math.MaxInt64},
+		{"Backoff clamp then saturate", Backoff(1<<50, 1000), math.MaxInt64},
+		{"Backoff below ceiling unchanged", Backoff(1<<20, 3), 1 << 23},
+		{"TotalWindow saturates", TotalWindow(math.MaxInt64/2, 3), math.MaxInt64},
+		{"TotalWindow sum overflow", TotalWindow(math.MaxInt64/4+1, 2), math.MaxInt64},
+		{"TotalWindow below ceiling unchanged", TotalWindow(100, 3), 1500},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %d, want %d", c.name, c.got, c.want)
+		}
+		if c.got < 0 {
+			t.Errorf("%s: wrapped negative (%d)", c.name, c.got)
+		}
+	}
+
+	// A timestamp at the int64 ceiling parses and schedules.
+	fc, err := Parse("nsufail:t=9223372036854775807:hmc=0", 8, 16)
+	if err != nil {
+		t.Fatalf("MaxInt64 timestamp rejected: %v", err)
+	}
+	inj := New(fc, 8, 16, 3, false)
+	if at := inj.NextEventAt(); at != math.MaxInt64 {
+		t.Errorf("ceiling event scheduled at %d", at)
+	}
+	if inj.NSUFailed(math.MaxInt64-1, 0) {
+		t.Error("ceiling event fired early")
+	}
+	if !inj.NSUFailed(math.MaxInt64, 0) {
+		t.Error("ceiling event never fired")
+	}
+
+	// A window whose end would overflow AtPS+DurPS emits only its start
+	// edge: the fault becomes permanent instead of ending at a negative
+	// (i.e. instantly-past) timestamp.
+	fc2, err := Parse("linkdown:t=9223372036854775000:hmc=0:dim=0:dur=9000000", 8, 16)
+	if err != nil {
+		t.Fatalf("overflowing window rejected at parse: %v", err)
+	}
+	inj2 := New(fc2, 8, 16, 3, false)
+	if len(inj2.edges) != 1 {
+		t.Fatalf("overflowing window expanded to %d edges, want 1 (start only)", len(inj2.edges))
+	}
+	if !inj2.LinkDead(math.MaxInt64, 0, 0) {
+		t.Error("overflow-window linkdown not permanent")
 	}
 }

@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StallGuard is a wall-clock liveness tracker for consumers of the epoch
+// sample hook (SetSampleHook): the producer calls Touch on every sample, and
+// a watchdog on another goroutine asks Stalled to learn whether the stream of
+// samples has dried up. Both sides are lock-free — one atomic store per
+// sample keeps the guard cheap enough to sit on the simulation hot path.
+type StallGuard struct {
+	window time.Duration
+	last   atomic.Int64 // time.Time.UnixNano of the most recent Touch
+}
+
+// NewStallGuard returns a guard that reports a stall when more than window
+// elapses between touches. The clock starts at creation, so a run that never
+// produces a single sample still trips the guard.
+func NewStallGuard(window time.Duration) *StallGuard {
+	g := &StallGuard{window: window}
+	g.Touch()
+	return g
+}
+
+// Touch records progress.
+func (g *StallGuard) Touch() { g.last.Store(time.Now().UnixNano()) }
+
+// SinceTouch returns the time elapsed since the last Touch.
+func (g *StallGuard) SinceTouch() time.Duration {
+	return time.Duration(time.Now().UnixNano() - g.last.Load())
+}
+
+// Stalled reports whether the window has elapsed without a Touch.
+func (g *StallGuard) Stalled() bool { return g.SinceTouch() > g.window }
+
+// Window returns the configured stall window.
+func (g *StallGuard) Window() time.Duration { return g.window }

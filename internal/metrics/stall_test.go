@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStallGuard(t *testing.T) {
+	g := NewStallGuard(50 * time.Millisecond)
+	if g.Stalled() {
+		t.Fatal("fresh guard reports a stall")
+	}
+	if g.Window() != 50*time.Millisecond {
+		t.Fatalf("Window = %v", g.Window())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !g.Stalled() {
+		if time.Now().After(deadline) {
+			t.Fatal("guard never stalled without touches")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	g.Touch()
+	if g.Stalled() {
+		t.Fatal("touched guard still reports a stall")
+	}
+	if g.SinceTouch() > time.Second {
+		t.Fatalf("SinceTouch = %v right after Touch", g.SinceTouch())
+	}
+}

@@ -3,28 +3,80 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"ndpgpu/internal/stats"
 )
 
 // Client is a thin HTTP client for an ndpserve instance — the transport
-// behind ndpsweep's -server client mode.
+// behind ndpsweep's -server client mode. Transient failures (connection
+// refused/reset, a 5xx from a server mid-recovery) are retried with capped
+// exponential backoff plus jitter, so a sweep leg survives a server restart
+// instead of failing.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	maxAttempts int           // tries per request before giving up
+	baseBackoff time.Duration // first retry delay; doubles per attempt
+	maxBackoff  time.Duration // backoff cap (jitter applies under it)
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sleep func(time.Duration) // test seam
 }
 
 // NewClient returns a client for the server at base (e.g.
 // "http://localhost:8347"). Requests have no client-side timeout: a cold
 // full-size simulation can legitimately take minutes, and the server bounds
-// its own admission.
+// its own admission. Default retry policy: 5 attempts, 200ms base backoff
+// doubling to a 5s cap.
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return &Client{
+		base:        strings.TrimRight(base, "/"),
+		hc:          &http.Client{},
+		maxAttempts: 5,
+		baseBackoff: 200 * time.Millisecond,
+		maxBackoff:  5 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:       time.Sleep,
+	}
+}
+
+// SetRetry overrides the transient-failure retry policy: attempts tries per
+// request (minimum 1), with exponential backoff from base capped at max.
+func (c *Client) SetRetry(attempts int, base, max time.Duration) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	c.maxAttempts, c.baseBackoff, c.maxBackoff = attempts, base, max
+}
+
+// backoff returns the jittered delay before retry number attempt (0-based):
+// half the capped exponential step plus a random half, so synchronized
+// clients spread out.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseBackoff
+	for i := 0; i < attempt && d < c.maxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d/2 + j
 }
 
 // Healthz probes the server's liveness endpoint.
@@ -41,22 +93,45 @@ func (c *Client) Healthz() error {
 	return nil
 }
 
+// transientError marks a failure worth retrying: the connection never
+// happened, broke mid-flight, or the server answered 5xx (a just-restarted
+// or recovering instance).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
 // Run submits one request and decodes the result. The server's 429
 // backpressure is honored transparently: the client sleeps the advertised
-// Retry-After (capped) and retries, so a sweep pointed at a busy server
-// degrades to queuing client-side instead of failing.
+// Retry-After (capped) and retries without burning an attempt — that is the
+// server queuing client-side, not a failure. Transient failures (transport
+// errors, 5xx) consume attempts and back off exponentially with jitter;
+// permanent errors (4xx) fail immediately.
 func (c *Client) Run(rr RunRequest) (*RunResponse, *stats.Stats, error) {
 	body, err := json.Marshal(rr)
 	if err != nil {
 		return nil, nil, err
 	}
+	attempt := 0
 	for {
 		resp, retry, err := c.post(body)
 		if err != nil {
+			var te *transientError
+			if errors.As(err, &te) && attempt < c.maxAttempts-1 {
+				// A recovering server may send Retry-After with its 503;
+				// honor it as a floor under the exponential delay.
+				delay := c.backoff(attempt)
+				if retry > delay {
+					delay = retry
+				}
+				c.sleep(delay)
+				attempt++
+				continue
+			}
 			return nil, nil, err
 		}
 		if retry > 0 {
-			time.Sleep(retry)
+			c.sleep(retry)
 			continue
 		}
 		var st *stats.Stats
@@ -70,37 +145,49 @@ func (c *Client) Run(rr RunRequest) (*RunResponse, *stats.Stats, error) {
 	}
 }
 
-// post performs one POST /run; a 429 returns a positive retry delay.
+// retryAfter parses a Retry-After header (seconds form), capped at 10s.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	delay := fallback
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		var secs int
+		if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
+			delay = time.Duration(secs) * time.Second
+		}
+	}
+	if delay > 10*time.Second {
+		delay = 10 * time.Second
+	}
+	return delay
+}
+
+// post performs one POST /run. A 429 returns a positive retry delay with no
+// error; a transport failure or 5xx returns a *transientError (plus any
+// advertised Retry-After); other non-200s are permanent errors.
 func (c *Client) post(body []byte) (*RunResponse, time.Duration, error) {
 	resp, err := c.hc.Post(c.base+"/run", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, &transientError{fmt.Errorf("ndpserve: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusTooManyRequests {
-		delay := time.Second
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			var secs int
-			if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
-				delay = time.Duration(secs) * time.Second
-			}
-		}
-		if delay > 10*time.Second {
-			delay = 10 * time.Second
-		}
+		delay := retryAfter(resp, time.Second)
 		io.Copy(io.Discard, resp.Body)
 		return nil, delay, nil
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, &transientError{err}
 	}
 	if resp.StatusCode != http.StatusOK {
+		rerr := fmt.Errorf("ndpserve: %s", resp.Status)
 		var eb errorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return nil, 0, fmt.Errorf("ndpserve: %s: %s", resp.Status, eb.Error)
+			rerr = fmt.Errorf("ndpserve: %s: %s", resp.Status, eb.Error)
 		}
-		return nil, 0, fmt.Errorf("ndpserve: %s", resp.Status)
+		if resp.StatusCode >= 500 {
+			return nil, retryAfter(resp, 0), &transientError{rerr}
+		}
+		return nil, 0, rerr
 	}
 	var rr RunResponse
 	if err := json.Unmarshal(data, &rr); err != nil {

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSleep replaces the client's sleep seam with a recorder, so retry tests
+// assert on the delays without waiting them out.
+type fakeSleep struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (f *fakeSleep) sleep(d time.Duration) {
+	f.mu.Lock()
+	f.delays = append(f.delays, d)
+	f.mu.Unlock()
+}
+
+func (f *fakeSleep) calls() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.delays...)
+}
+
+// okResponse writes a minimal valid RunResponse.
+func okResponse(w http.ResponseWriter) {
+	json.NewEncoder(w).Encode(&RunResponse{
+		Key: strings.Repeat("a", 64), Workload: "VADD", Mode: "dyn", TimePS: 42,
+		Digest: map[string]float64{"TimePS": 42},
+	})
+}
+
+// flakyServer answers /run with the scripted status codes in order, then 200.
+func flakyServer(t *testing.T, script ...int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n < len(script) {
+			code := script[n]
+			if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(errorBody{"scripted failure"})
+			return
+		}
+		okResponse(w)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// retryClient builds a client with a fast deterministic retry policy and a
+// recorded sleep seam.
+func retryClient(base string, attempts int) (*Client, *fakeSleep) {
+	c := NewClient(base)
+	c.SetRetry(attempts, 10*time.Millisecond, 80*time.Millisecond)
+	fs := &fakeSleep{}
+	c.sleep = fs.sleep
+	return c, fs
+}
+
+// TestClientRetriesTransient5xx: two 500s from a mid-recovery server, then
+// success — the sweep leg survives instead of failing.
+func TestClientRetriesTransient5xx(t *testing.T) {
+	ts, calls := flakyServer(t, http.StatusInternalServerError, http.StatusInternalServerError)
+	c, fs := retryClient(ts.URL, 5)
+	resp, _, err := c.Run(RunRequest{Workload: "VADD", Mode: "dyn"})
+	if err != nil {
+		t.Fatalf("flaky server not retried: %v", err)
+	}
+	if resp.TimePS != 42 {
+		t.Fatalf("response after retries: %+v", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	delays := fs.calls()
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2: %v", len(delays), delays)
+	}
+	// Jittered capped exponential: attempt 0 in [5ms,10ms], attempt 1 in
+	// [10ms,20ms] (half the step plus a random half).
+	if delays[0] < 5*time.Millisecond || delays[0] > 10*time.Millisecond {
+		t.Errorf("first backoff %v outside [5ms,10ms]", delays[0])
+	}
+	if delays[1] < 10*time.Millisecond || delays[1] > 20*time.Millisecond {
+		t.Errorf("second backoff %v outside [10ms,20ms]", delays[1])
+	}
+}
+
+// TestClientRetryExhaustion: a server that never recovers fails the request
+// after exactly maxAttempts tries, surfacing the last error.
+func TestClientRetryExhaustion(t *testing.T) {
+	ts, calls := flakyServer(t,
+		http.StatusInternalServerError, http.StatusInternalServerError,
+		http.StatusInternalServerError, http.StatusInternalServerError,
+		http.StatusInternalServerError, http.StatusInternalServerError)
+	c, fs := retryClient(ts.URL, 3)
+	_, _, err := c.Run(RunRequest{Workload: "VADD", Mode: "dyn"})
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("exhausted retries returned %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly maxAttempts=3", got)
+	}
+	if got := len(fs.calls()); got != 2 {
+		t.Fatalf("slept %d times, want 2 (between 3 attempts)", got)
+	}
+}
+
+// TestClientPermanent4xxNotRetried: client errors are the caller's bug;
+// retrying them would just hammer the server.
+func TestClientPermanent4xxNotRetried(t *testing.T) {
+	ts, calls := flakyServer(t, http.StatusBadRequest)
+	c, fs := retryClient(ts.URL, 5)
+	_, _, err := c.Run(RunRequest{Workload: "NOPE"})
+	if err == nil || !strings.Contains(err.Error(), "scripted failure") {
+		t.Fatalf("4xx error: %v", err)
+	}
+	if calls.Load() != 1 || len(fs.calls()) != 0 {
+		t.Fatalf("4xx was retried: %d requests, %d sleeps", calls.Load(), len(fs.calls()))
+	}
+}
+
+// TestClientRetriesConnectionRefused: the server is down entirely (restart
+// window) — transport errors are transient.
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens on this port now
+	c, fs := retryClient(ts.URL, 3)
+	_, _, err := c.Run(RunRequest{Workload: "VADD", Mode: "dyn"})
+	if err == nil {
+		t.Fatal("connecting to a closed server succeeded")
+	}
+	if got := len(fs.calls()); got != 2 {
+		t.Fatalf("connection refused slept %d times, want 2 (retried then failed)", got)
+	}
+}
+
+// TestClientRestartRecovery: connection refused, then the server comes back
+// — exactly the kill-and-restart window the chaos harness exercises.
+func TestClientRestartRecovery(t *testing.T) {
+	ln := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okResponse(w)
+	}))
+	addr := ln.Listener.Addr().String()
+	ln.Listener.Close() // port reserved then released: first attempt refused
+
+	c, fs := retryClient("http://"+addr, 5)
+	started := make(chan struct{})
+	c.sleep = func(d time.Duration) {
+		fs.sleep(d)
+		// Bring the server up during the first backoff, as a restart would.
+		select {
+		case <-started:
+		default:
+			var err error
+			ln.Listener, err = listenOn(addr)
+			if err != nil {
+				t.Errorf("rebinding %s: %v", addr, err)
+				return
+			}
+			ln.Start()
+			t.Cleanup(ln.Close)
+			close(started)
+		}
+	}
+	resp, _, err := c.Run(RunRequest{Workload: "VADD", Mode: "dyn"})
+	if err != nil {
+		t.Fatalf("client did not survive the restart window: %v", err)
+	}
+	if resp.TimePS != 42 {
+		t.Fatalf("post-restart response: %+v", resp)
+	}
+	if len(fs.calls()) == 0 {
+		t.Fatal("no backoff was taken")
+	}
+}
+
+// listenOn rebinds a TCP listener on a specific address (the "restarted"
+// server must come back on the same port the client targets).
+func listenOn(addr string) (net.Listener, error) {
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ { // the old socket may linger briefly
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			return ln, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// TestClient429DoesNotBurnAttempts: backpressure is the server queueing
+// client-side, not a failure — even a 1-attempt client waits through it.
+func TestClient429DoesNotBurnAttempts(t *testing.T) {
+	ts, calls := flakyServer(t, http.StatusTooManyRequests, http.StatusTooManyRequests)
+	c, fs := retryClient(ts.URL, 1) // zero transient retries allowed
+	resp, _, err := c.Run(RunRequest{Workload: "VADD", Mode: "dyn"})
+	if err != nil {
+		t.Fatalf("429 failed a 1-attempt client: %v", err)
+	}
+	if resp.TimePS != 42 || calls.Load() != 3 {
+		t.Fatalf("resp %+v after %d requests", resp, calls.Load())
+	}
+	for _, d := range fs.calls() {
+		if d != time.Second {
+			t.Fatalf("429 wait %v, want the advertised Retry-After of 1s", d)
+		}
+	}
+}
+
+// TestClient503RetryAfterFloor: a recovering server's Retry-After floors the
+// exponential backoff — the client must not retry sooner than advertised.
+func TestClient503RetryAfterFloor(t *testing.T) {
+	ts, calls := flakyServer(t, http.StatusServiceUnavailable)
+	c, fs := retryClient(ts.URL, 5) // base backoff 10ms << the 1s hint
+	if _, _, err := c.Run(RunRequest{Workload: "VADD", Mode: "dyn"}); err != nil {
+		t.Fatalf("503 not retried: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", calls.Load())
+	}
+	delays := fs.calls()
+	if len(delays) != 1 || delays[0] < time.Second {
+		t.Fatalf("503 backoff %v, want >= the 1s Retry-After", delays)
+	}
+}
+
+// TestClientBackoffShape: capped exponential with jitter in [d/2, d].
+func TestClientBackoffShape(t *testing.T) {
+	c := NewClient("http://unused")
+	c.SetRetry(10, 100*time.Millisecond, 400*time.Millisecond)
+	for attempt, capped := range []time.Duration{
+		100 * time.Millisecond, // 0
+		200 * time.Millisecond, // 1
+		400 * time.Millisecond, // 2
+		400 * time.Millisecond, // 3: capped
+		400 * time.Millisecond, // 4: stays capped
+	} {
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt)
+			if d < capped/2 || d > capped {
+				t.Fatalf("backoff(%d) = %v outside [%v,%v]", attempt, d, capped/2, capped)
+			}
+		}
+	}
+}

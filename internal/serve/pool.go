@@ -9,7 +9,13 @@
 // in the real machine.
 package serve
 
-import "sync"
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is a fixed set of worker goroutines draining a FIFO of tasks. It is
 // the one worker-pool implementation in the tree: the ndpserve scheduler
@@ -26,6 +32,7 @@ type Pool struct {
 	active int
 	closed bool
 	wg     sync.WaitGroup
+	panics atomic.Int64
 }
 
 // NewPool starts a pool with the given number of workers (minimum 1).
@@ -60,7 +67,7 @@ func (p *Pool) worker() {
 		p.active++
 		p.mu.Unlock()
 
-		fn()
+		p.runTask(fn)
 
 		p.mu.Lock()
 		p.active--
@@ -70,6 +77,24 @@ func (p *Pool) worker() {
 		p.mu.Unlock()
 	}
 }
+
+// runTask runs one task under a recover backstop: a panicking task must not
+// kill its worker, so the pool stays at full capacity no matter what a
+// caller enqueues. The scheduler converts its own panics into structured
+// errors before they reach here; this guard covers every other user of the
+// pool (sweep jobs) and is counted, logged, and otherwise swallowed.
+func (p *Pool) runTask(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			fmt.Fprintf(os.Stderr, "serve: pool task panicked (worker recovered): %v\n%s", r, debug.Stack())
+		}
+	}()
+	fn()
+}
+
+// Panics reports how many tasks have panicked into the backstop.
+func (p *Pool) Panics() int64 { return p.panics.Load() }
 
 // Go enqueues fn for execution. It reports false — and drops fn — once the
 // pool is closed.

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -40,9 +42,12 @@ type Outcome struct {
 
 // Runner executes one canonical request. progress must be safe to call from
 // the simulation goroutine and cheap (the scheduler fans events out to
-// subscribers without blocking). Implementations must be deterministic in
-// the request: the scheduler memoizes the first Outcome per key forever.
-type Runner func(req *Request, progress func(Progress)) (*Outcome, error)
+// subscribers without blocking). rc carries the watchdog's cooperative
+// cancellation: a runner should register its stop hook (rc.OnCancel) and, if
+// it can block outside the simulation, select on rc.Done(). Implementations
+// must be deterministic in the request: the scheduler memoizes the first
+// Outcome per key forever.
+type Runner func(rc *RunCtx, req *Request, progress func(Progress)) (*Outcome, error)
 
 // Options configures a Scheduler.
 type Options struct {
@@ -56,6 +61,24 @@ type Options struct {
 	// RetryAfter is the backpressure hint reported alongside ErrQueueFull
 	// (default 1s).
 	RetryAfter time.Duration
+
+	// RunTimeout bounds one execution's wall time; past it the run is
+	// cooperatively canceled and fails with ErrRunTimeout (0 = unlimited).
+	RunTimeout time.Duration
+	// StallTimeout cancels a run that emits no progress event for this long
+	// (ErrRunStalled); it catches wedged engines long before RunTimeout.
+	// Only meaningful with a Runner that reports progress (0 = off).
+	StallTimeout time.Duration
+	// PoisonK quarantines a key after this many poisonous failures — panics
+	// or watchdog kills; ordinary errors don't count (default 3).
+	PoisonK int
+	// PoisonTTL is how long a quarantined key is refused before one probe is
+	// re-admitted, half-open (default 10m).
+	PoisonTTL time.Duration
+	// Journal, when non-nil, makes every memoized outcome durable: Submit
+	// acknowledges a run only after its record is fsynced. Open it with
+	// OpenJournal, call Replay, and seed the recovered map via Restore.
+	Journal *Journal
 }
 
 // Counters is a snapshot of the scheduler's accounting.
@@ -67,6 +90,12 @@ type Counters struct {
 	Errors    int64 `json:"errors"`     // executions that failed
 	Rejected  int64 `json:"rejected"`   // ErrQueueFull + ErrShuttingDown
 
+	Panics         int64 `json:"panics"`          // runner panics converted to errors
+	WatchdogKills  int64 `json:"watchdog_kills"`  // runs canceled by deadline or stall
+	QuarantineHits int64 `json:"quarantine_hits"` // submissions refused by an open breaker
+	Recovered      int64 `json:"recovered"`       // cache entries restored from the journal
+	JournalErrors  int64 `json:"journal_errors"`  // appends that failed (result still served)
+
 	Queued      int `json:"queued"`     // admitted, waiting for a worker
 	Running     int `json:"running"`    // executing right now
 	InFlight    int `json:"in_flight"`  // submissions blocked on a result
@@ -75,7 +104,8 @@ type Counters struct {
 	MaxInFlight int `json:"max_in_flight"`
 
 	CacheEntries int `json:"cache_entries"`
-	Clients      int `json:"clients"` // clients currently holding queued work
+	Clients      int `json:"clients"`     // clients currently holding queued work
+	Quarantined  int `json:"quarantined"` // keys with an open breaker right now
 }
 
 // entry is one admitted unique request: the single execution every duplicate
@@ -95,6 +125,7 @@ type entry struct {
 type Scheduler struct {
 	opts Options
 	pool *Pool
+	quar *quarantine
 
 	mu        sync.Mutex
 	cache     map[string]*Outcome
@@ -120,13 +151,37 @@ func New(o Options) *Scheduler {
 	if o.Runner == nil {
 		panic("serve: Options.Runner is required")
 	}
+	if o.PoisonK <= 0 {
+		o.PoisonK = 3
+	}
+	if o.PoisonTTL <= 0 {
+		o.PoisonTTL = 10 * time.Minute
+	}
 	return &Scheduler{
 		opts:      o,
 		pool:      NewPool(o.Workers),
+		quar:      newQuarantine(o.PoisonK, o.PoisonTTL),
 		cache:     make(map[string]*Outcome),
 		inflight:  make(map[string]*entry),
 		perClient: make(map[string][]*entry),
 	}
+}
+
+// Restore seeds the memoization cache with journal-recovered outcomes
+// (first writer wins; existing entries are kept) and returns how many were
+// installed. Call it once at startup, between Replay and readiness.
+func (s *Scheduler) Restore(outcomes map[string]*Outcome) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for key, out := range outcomes {
+		if _, ok := s.cache[key]; !ok && out != nil {
+			s.cache[key] = out
+			n++
+		}
+	}
+	s.c.Recovered += int64(n)
+	return n
 }
 
 // RetryAfter returns the backpressure hint for 429 responses.
@@ -166,6 +221,12 @@ func (s *Scheduler) submit(ctx context.Context, req *Request, events chan<- Prog
 		s.c.CacheHits++
 		s.mu.Unlock()
 		return Served{Outcome: out, Cached: true}, nil
+	}
+	if qerr := s.quar.check(req.Key); qerr != nil {
+		// Circuit open: serve the cached failure without touching a worker.
+		s.c.QuarantineHits++
+		s.mu.Unlock()
+		return Served{}, qerr
 	}
 	if e, ok := s.inflight[req.Key]; ok {
 		s.c.Coalesced++
@@ -280,7 +341,24 @@ func (s *Scheduler) runNext() {
 	}
 	s.mu.Unlock()
 
-	out, err := s.opts.Runner(e.req, func(p Progress) { s.publish(e, p) })
+	out, err := s.execute(e)
+
+	if err == nil && s.opts.Journal != nil {
+		// Durability before acknowledgment: the first waiter unblocks only
+		// after the record is fsynced (group-committed under load). A failed
+		// append is counted but still served — availability over durability
+		// for the result already in hand.
+		if jerr := s.opts.Journal.Append(e.req.Key, out); jerr != nil {
+			s.mu.Lock()
+			s.c.JournalErrors++
+			s.mu.Unlock()
+		}
+	}
+	if err == nil {
+		s.quar.clear(e.req.Key)
+	} else if poisonous(err) {
+		s.quar.record(e.req.Key, err)
+	}
 
 	s.mu.Lock()
 	s.c.Running--
@@ -289,6 +367,13 @@ func (s *Scheduler) runNext() {
 		// failure (or a fixed workload) should be retriable.
 		e.err = err
 		s.c.Errors++
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			s.c.Panics++
+		}
+		if errors.Is(err, ErrRunTimeout) || errors.Is(err, ErrRunStalled) {
+			s.c.WatchdogKills++
+		}
 	} else {
 		s.cache[e.req.Key] = out
 		s.c.Executed++
@@ -297,6 +382,33 @@ func (s *Scheduler) runNext() {
 	delete(s.inflight, e.req.Key)
 	s.mu.Unlock()
 	close(e.done)
+}
+
+// execute runs one entry under the crash-safety envelope: a recover that
+// converts a runner panic into a structured *PanicError, and a watchdog that
+// cooperatively cancels the run past its deadline or stall window. The
+// worker goroutine survives either way.
+func (s *Scheduler) execute(e *entry) (out *Outcome, err error) {
+	rc := newRunCtx()
+	wd := runWatchdog(rc, s.opts.RunTimeout, s.opts.StallTimeout)
+	defer wd.halt()
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+			return
+		}
+		// A canceled run that still returned an error is attributed to the
+		// watchdog (the runner typically surfaces the underlying engine
+		// cancellation); a run that beat the verdict with a result keeps it.
+		if cause := rc.Err(); cause != nil && err != nil {
+			err = fmt.Errorf("%w (runner: %v)", cause, err)
+			out = nil
+		}
+	}()
+	return s.opts.Runner(rc, e.req, func(p Progress) {
+		wd.touch()
+		s.publish(e, p)
+	})
 }
 
 // popFair removes and returns the next entry round-robin across clients;
@@ -342,11 +454,25 @@ func (s *Scheduler) publish(e *entry, p Progress) {
 // Snapshot returns current counters.
 func (s *Scheduler) Snapshot() Counters {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	c := s.c
 	c.CacheEntries = len(s.cache)
 	c.Clients = len(s.perClient)
+	s.mu.Unlock()
+	c.Quarantined, _, _ = s.quar.counts()
 	return c
+}
+
+// QuarantineSnapshot lists every suspect and quarantined key for /status.
+func (s *Scheduler) QuarantineSnapshot() []QuarantineEntry { return s.quar.snapshot() }
+
+// JournalStats returns the journal's accounting, or nil when the scheduler
+// runs without durability.
+func (s *Scheduler) JournalStats() *JournalStats {
+	if s.opts.Journal == nil {
+		return nil
+	}
+	st := s.opts.Journal.Stats()
+	return &st
 }
 
 // CachedKeys reports how many distinct results are memoized.

@@ -28,7 +28,7 @@ func newStubSim(delay time.Duration) *stubSim {
 }
 
 func (s *stubSim) runner() Runner {
-	return func(req *Request, progress func(Progress)) (*Outcome, error) {
+	return func(rc *RunCtx, req *Request, progress func(Progress)) (*Outcome, error) {
 		s.mu.Lock()
 		s.execs[req.Key]++
 		s.order = append(s.order, req.Key)

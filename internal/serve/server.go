@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,21 +44,46 @@ type errorBody struct {
 //	                 upgrades to SSE progress + final result
 //	GET  /status   — scheduler counters as JSON
 //	GET  /metrics  — the same counters, one "ndpserve_<name> <value>" per line
-//	GET  /healthz  — liveness
+//	GET  /healthz  — liveness (the process is up and answering)
+//	GET  /readyz   — readiness (accepting runs: journal replayed, not draining)
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
 	start time.Time
+
+	ready     atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
-// NewServer wraps a scheduler in the HTTP API.
+// NewServer wraps a scheduler in the HTTP API. The server starts ready;
+// cmd/ndpserve flips readiness off around journal replay with SetReady.
 func NewServer(s *Scheduler) *Server {
-	srv := &Server{sched: s, mux: http.NewServeMux(), start: time.Now()}
+	srv := &Server{sched: s, mux: http.NewServeMux(), start: time.Now(), drainCh: make(chan struct{})}
+	srv.ready.Store(true)
 	srv.mux.HandleFunc("/run", srv.handleRun)
 	srv.mux.HandleFunc("/status", srv.handleStatus)
 	srv.mux.HandleFunc("/metrics", srv.handleMetrics)
 	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
+	srv.mux.HandleFunc("/readyz", srv.handleReadyz)
 	return srv
+}
+
+// SetReady flips readiness: while false, /readyz reports 503 and /run
+// refuses new work with 503 + Retry-After, but /healthz stays green —
+// exactly the split a load balancer needs during startup replay.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// Ready reports whether the server accepts new runs.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// BeginDrain starts a graceful shutdown at the HTTP layer: readiness goes
+// false (load balancers stop routing) and every active SSE stream is
+// terminated with a final "shutdown" event instead of hanging until TCP
+// timeout. Call it before Scheduler.Shutdown. Idempotent.
+func (s *Server) BeginDrain() {
+	s.ready.Store(false)
+	s.drainOnce.Do(func() { close(s.drainCh) })
 }
 
 // ServeHTTP implements http.Handler.
@@ -92,6 +119,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.Client == "" {
 		req.Client = clientID(r)
 	}
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{"server not ready (replaying journal or draining)"})
+		return
+	}
 
 	if wantsStream(r) {
 		s.streamRun(w, r, req)
@@ -107,12 +139,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var qe *QuarantineError
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int(s.sched.RetryAfter().Round(time.Second)/time.Second)))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
 	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	case errors.As(err, &qe):
+		// Circuit open: the cached failure, with the remaining TTL as the
+		// retry hint (the breaker goes half-open when it expires).
+		if left := int(time.Until(qe.Until).Round(time.Second) / time.Second); left > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(left))
+		}
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The client went away; nothing useful to write.
@@ -202,6 +242,13 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, req *Request)
 			}
 			emit("result", buildResponse(req, d.served))
 			return
+		case <-s.drainCh:
+			// Drain-on-SIGTERM: tell the client explicitly instead of leaving
+			// the stream hanging until TCP timeout. The admitted execution
+			// still completes server-side and lands in the cache/journal; the
+			// client resubmits after restart and gets a map lookup.
+			emit("shutdown", errorBody{"server draining; resubmit to pick up the result"})
+			return
 		case <-r.Context().Done():
 			// Client hung up; the scheduler-side waiter exits on the same
 			// context, and the execution (if admitted) still completes.
@@ -213,9 +260,13 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, req *Request)
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	snap := s.sched.Snapshot()
 	writeJSON(w, http.StatusOK, struct {
-		UptimeSec float64  `json:"uptime_sec"`
-		Counters  Counters `json:"counters"`
-	}{time.Since(s.start).Seconds(), snap})
+		UptimeSec  float64           `json:"uptime_sec"`
+		Ready      bool              `json:"ready"`
+		Counters   Counters          `json:"counters"`
+		Quarantine []QuarantineEntry `json:"quarantine,omitempty"`
+		Journal    *JournalStats     `json:"journal,omitempty"`
+	}{time.Since(s.start).Seconds(), s.ready.Load(), snap,
+		s.sched.QuarantineSnapshot(), s.sched.JournalStats()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -233,11 +284,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ndpserve_queue_depth_max %d\n", c.MaxQueued)
 	fmt.Fprintf(w, "ndpserve_in_flight_max %d\n", c.MaxInFlight)
 	fmt.Fprintf(w, "ndpserve_cache_entries %d\n", c.CacheEntries)
+	ready := 0
+	if s.ready.Load() {
+		ready = 1
+	}
+	fmt.Fprintf(w, "ndpserve_ready %d\n", ready)
+	fmt.Fprintf(w, "ndpserve_panics_total %d\n", c.Panics)
+	fmt.Fprintf(w, "ndpserve_watchdog_kills_total %d\n", c.WatchdogKills)
+	fmt.Fprintf(w, "ndpserve_quarantined %d\n", c.Quarantined)
+	fmt.Fprintf(w, "ndpserve_quarantine_hits_total %d\n", c.QuarantineHits)
+	fmt.Fprintf(w, "ndpserve_recovered_total %d\n", c.Recovered)
+	fmt.Fprintf(w, "ndpserve_journal_errors_total %d\n", c.JournalErrors)
+	if js := s.sched.JournalStats(); js != nil {
+		fmt.Fprintf(w, "ndpserve_journal_appends_total %d\n", js.Appends)
+		fmt.Fprintf(w, "ndpserve_journal_syncs_total %d\n", js.Syncs)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 200 only when the server accepts new
+// runs (journal replay finished, not draining). Liveness stays on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // clientID derives a fairness identity when the request body carries none:

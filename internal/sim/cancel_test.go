@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"ndpgpu/internal/timing"
+	"ndpgpu/internal/vm"
+	"ndpgpu/internal/workloads"
+)
+
+func launchVADD(t *testing.T) *Machine {
+	t.Helper()
+	cfg := AuditConfig()
+	mem := vm.New(cfg)
+	w, err := workloads.Build("VADD", mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Launch(cfg, w.Kernel, mem, DynNDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMachineCancelBeforeRun: a machine canceled before Run stops at its
+// first step boundary with ErrCanceled instead of simulating to quiescence.
+func TestMachineCancelBeforeRun(t *testing.T) {
+	m := launchVADD(t)
+	m.Cancel()
+	res, err := m.Run(0)
+	if err == nil || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled run returned %v, want ErrCanceled", err)
+	}
+	if res == nil || !res.TimedOut {
+		t.Fatal("canceled run must report TimedOut in its partial result")
+	}
+}
+
+// TestMachineCancelMidRun cancels from the first epoch sample — mid-flight,
+// the way the serve watchdog does through the metrics hook — and requires the
+// run to stop early rather than quiesce.
+func TestMachineCancelMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	full := launchVADD(t)
+	res, err := full.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPS := res.TimePS
+
+	m := launchVADD(t)
+	mc := m.EnableMetrics(0)
+	mc.SetSampleHook(func(now timing.PS, cycles int64) { m.Cancel() })
+	res, err = m.Run(0)
+	if err == nil || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-run cancel returned %v, want ErrCanceled", err)
+	}
+	if res.TimePS >= fullPS {
+		t.Fatalf("canceled at %d ps, full run takes %d ps: cancel did not stop early", res.TimePS, fullPS)
+	}
+}

@@ -26,6 +26,7 @@ package timing
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // PS is a simulated time in picoseconds.
@@ -87,7 +88,18 @@ type Engine struct {
 	limit    PS
 	fired    bool
 	preSteps []func(now PS)
+	canceled atomic.Bool
 }
+
+// Cancel requests a cooperative stop: RunUntil returns (ok=false) at the next
+// step boundary instead of advancing further. Cancel is the only Engine
+// method that is safe to call from another goroutine — everything else stays
+// single-threaded — which is exactly what a run watchdog needs to unwedge a
+// hung simulation without racing its state.
+func (e *Engine) Cancel() { e.canceled.Store(true) }
+
+// Canceled reports whether Cancel has been called.
+func (e *Engine) Canceled() bool { return e.canceled.Load() }
 
 // AddPreStep registers a hook that runs at the top of every engine step,
 // after the step's timestamp is fixed and before any domain fires. Parallel
@@ -300,7 +312,7 @@ func (e *Engine) RunUntil(done func() bool, limitPS PS) (steps int64, ok bool) {
 		if check && done() {
 			return steps, true
 		}
-		if e.now >= limitPS {
+		if e.now >= limitPS || e.canceled.Load() {
 			return steps, false
 		}
 		if !e.Step() {
