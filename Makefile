@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke test-parallel test-parallel-fused golden golden-update serve-test load-test chaos-serve clean
+.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke bench-profile bench-history test-parallel test-parallel-fused golden golden-update serve-test load-test chaos-serve clean
 
 build:
 	$(GO) build ./...
@@ -136,11 +136,24 @@ chaos-serve:
 	NDPSERVE_CHAOS_OUT=$(CURDIR)/chaos_serve_summary.json $(GO) test -race -run '^TestChaosServe$$' -timeout 20m -v ./cmd/ndpserve
 	@echo "chaos_serve_summary.json written"
 
-# One-iteration benchmark smoke with the ±25% gate against the recorded
-# reference (fails only on slowdowns; a faster host just warns).
+# One-iteration benchmark smoke with the ±25% wall-clock gate and the +10%
+# allocs/op gate against the recorded reference (fails only on regressions; a
+# faster host just warns). On a host whose fingerprint differs from the
+# reference the wall-clock gate is report-only — see `ndpreport benchgate`.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSingleRunVADD$$' -benchmem -benchtime 1x . | tee bench_smoke.txt
-	$(GO) run ./cmd/ndpreport benchgate -bench bench_smoke.txt -ref BENCH_pr6.json
+	$(GO) run ./cmd/ndpreport benchgate -bench bench_smoke.txt -ref BENCH_pr9.json
+
+# CPU + allocation profiles of the macro benchmark, for chasing wake-wheel
+# and allocator regressions. View with `go tool pprof bench_cpu.pprof`.
+bench-profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkSingleRunVADD$$' -benchmem -benchtime 3x \
+		-cpuprofile bench_cpu.pprof -memprofile bench_mem.pprof .
+	@echo "wrote bench_cpu.pprof bench_mem.pprof (go tool pprof <file>)"
+
+# Trend table across every recorded BENCH_*.json.
+bench-history:
+	$(GO) run ./cmd/ndpreport bench-history
 
 clean:
 	$(GO) clean ./...

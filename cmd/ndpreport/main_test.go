@@ -93,6 +93,86 @@ func TestBenchgate(t *testing.T) {
 	}
 }
 
+func TestBenchgateAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	ref := write(t, dir, "ref.json",
+		`{"macro": {"serial_ns_per_op": 1000000, "serial_allocs_per_op": 1000}}`)
+	// Custom metrics between ns/op and the -benchmem columns must not hide them.
+	good := write(t, dir, "good.txt",
+		"BenchmarkSingleRunVADD-8 \t5\t1000000 ns/op\t16.58 simulated-us\t500000 B/op\t1050 allocs/op\nPASS\n")
+	bloat := write(t, dir, "bloat.txt",
+		"BenchmarkSingleRunVADD-8 \t5\t1000000 ns/op\t500000 B/op\t1200 allocs/op\nPASS\n")
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"benchgate", "-bench", good, "-ref", ref}, &out, &errBuf); code != 0 {
+		t.Fatalf("within-alloc-slack exit = %d, want 0 (%s)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Fatalf("alloc comparison not reported: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"benchgate", "-bench", bloat, "-ref", ref}, &out, &errBuf); code != 1 {
+		t.Fatalf("alloc-regression exit = %d, want 1 (%s)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op regressed") {
+		t.Fatalf("missing alloc FAIL verdict: %s", out.String())
+	}
+}
+
+func TestBenchgateFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	// A reference from a fictitious host: the wall-clock gate must relax to
+	// report-only, so a huge slowdown still exits 0 with a loud warning. The
+	// alloc gate relaxes too only because the Go version also differs.
+	ref := write(t, dir, "ref.json", `{
+		"host": {"cpu_model": "Imaginary CPU X1", "nproc": 999, "go_version": "go0.0.0"},
+		"macro": {"serial_ns_per_op": 1000, "serial_allocs_per_op": 10}}`)
+	slow := write(t, dir, "slow.txt",
+		"BenchmarkSingleRunVADD-8 \t5\t90000000 ns/op\t1 B/op\t500 allocs/op\nPASS\n")
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"benchgate", "-bench", slow, "-ref", ref}, &out, &errBuf); code != 0 {
+		t.Fatalf("mismatched-host exit = %d, want 0 (%s)", code, out.String())
+	}
+	for _, want := range []string{"fingerprint mismatch", "REPORT-ONLY", "toolchain differs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in report-only output: %s", want, out.String())
+		}
+	}
+}
+
+func TestBenchHistory(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_pr1.json",
+		`{"macro": {"after": {"ns_per_op": 2000, "allocs_per_op": 50, "bytes_per_op": 4000000}}}`)
+	write(t, dir, "BENCH_pr2.json",
+		`{"macro": {"pr1_after": {"ns_per_op": 2000}, "pr2": {"ns_per_op": 1000, "allocs_per_op": 40}}}`)
+	write(t, dir, "BENCH_pr10.json", `{
+		"host": {"cpu_model": "CPU A", "nproc": 4, "go_version": "go1.24.0"},
+		"macro": {"serial_ns_per_op": 500, "serial_allocs_per_op": 30}}`)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"bench-history", "-dir", dir}, &out, &errBuf); code != 0 {
+		t.Fatalf("bench-history exit = %d, want 0 (%s)", code, errBuf.String())
+	}
+	got := out.String()
+	// Numeric PR order, not lexical: pr1, pr2, pr10.
+	i1 := strings.Index(got, "BENCH_pr1.json")
+	i2 := strings.Index(got, "BENCH_pr2.json")
+	i10 := strings.Index(got, "BENCH_pr10.json")
+	if i1 < 0 || i2 < 0 || i10 < 0 || !(i1 < i2 && i2 < i10) {
+		t.Fatalf("rows missing or out of numeric PR order:\n%s", got)
+	}
+	// Schema archaeology: pr1 uses macro.after, pr2 prefers its own prN tag,
+	// pr10 the modern serial_* leaves. Step speedups follow 2000->1000->500.
+	for _, want := range []string{"2.00x", "4.00x", "CPU A"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in history table:\n%s", want, got)
+		}
+	}
+}
+
 func TestShowRendersMetricsRun(t *testing.T) {
 	dir := t.TempDir()
 	runJSON := write(t, dir, "run.json", `{

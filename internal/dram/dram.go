@@ -66,6 +66,15 @@ type Vault struct {
 	nextRefresh timing.PS // next tREFI edge
 	refreshing  timing.PS // all banks blocked until this time
 
+	// Wake-scheduling edge ledger. edges counts DRAM clocks elapsed at this
+	// vault (ticked densely or credited by SkipIdle); seen marks how many of
+	// them the BusyCycles counter has accounted. The gap is settled lazily —
+	// before a Tick, before an Enqueue can change the queue, or
+	// computationally by BusyCyclesNow — and over any unsettled gap the queue
+	// is constant, so "queued work present" decides the whole gap at once.
+	edges int64
+	seen  int64
+
 	aud *audit.VaultAudit // nil unless bank-state auditing is attached
 
 	Stats VaultStats
@@ -87,12 +96,31 @@ func (v *Vault) tck(n int) timing.PS { return timing.PS(n) * timing.PS(v.cfg.TCK
 // the timing parameters independently of the controller's own bookkeeping.
 func (v *Vault) SetAudit(a *audit.VaultAudit) { v.aud = a }
 
+// creditGap settles the un-accounted edge gap against the current queue:
+// every edge in the gap was elided with the queue in exactly its present
+// state (Tick settles before processing, Enqueue settles before mutating),
+// and elided edges retire no completion and fire no refresh — their wake
+// times bound any skip — so the queue test alone decides busyness.
+func (v *Vault) creditGap() {
+	if gap := v.edges - v.seen; gap > 0 {
+		if len(v.queue) > 0 {
+			v.Stats.BusyCycles += gap
+		}
+		v.seen = v.edges
+	}
+}
+
+// SkipIdle credits n elided DRAM edges; the BusyCycles effect is settled
+// lazily by creditGap.
+func (v *Vault) SkipIdle(n int64) { v.edges += n }
+
 // Enqueue adds a request if the queue has room, returning false when full.
 func (v *Vault) Enqueue(r *Request) bool {
 	if len(v.queue) >= v.cfg.VaultQueue {
 		v.Stats.QueueFullRejects++
 		return false
 	}
+	v.creditGap()
 	v.queue = append(v.queue, r)
 	return true
 }
@@ -107,6 +135,9 @@ func (v *Vault) Pending() int { return len(v.queue) + len(v.done) }
 // schedule at most one command using FR-FCFS (first ready — i.e. open-row
 // hit — first-come-first-served otherwise).
 func (v *Vault) Tick(now timing.PS) {
+	v.creditGap()
+	v.edges++
+	v.seen = v.edges
 	busy := len(v.queue) > 0
 	// Retire completions.
 	kept := v.done[:0]
@@ -229,6 +260,70 @@ func (v *Vault) issueColumn(r *Request, now timing.PS, rowHit bool) {
 
 // Idle reports whether the vault has no queued or in-flight work.
 func (v *Vault) Idle() bool { return len(v.queue) == 0 && len(v.done) == 0 }
+
+// BusyCyclesNow returns the busy-cycle count with the unsettled edge gap
+// folded in computationally — a side-effect-free read for stats aggregation
+// and metrics probes.
+func (v *Vault) BusyCyclesNow() int64 {
+	b := v.Stats.BusyCycles
+	if len(v.queue) > 0 {
+		b += v.edges - v.seen
+	}
+	return b
+}
+
+// NextWorkSharp is the per-bank-state refinement of NextWorkAt: instead of
+// reporting "now" whenever a request is queued, it computes the earliest time
+// FR-FCFS could actually issue a command for any queued request — a row hit
+// waits for its bank and the shared data bus (tCCD), a row conflict or closed
+// row waits only for the bank to accept a row command (a precharge may issue
+// immediately, with tRAS folded into the resulting ready time). The engine
+// parks the vault's stack across pure timing-parameter waits (tRCD/tRAS/tRP
+// stretches) that the coarse hint ticks through densely; SkipIdle keeps the
+// BusyCycles ledger exact over the parked stretch. A refresh in progress
+// floors every command at its end; completions and the refresh timer bound
+// the wake exactly as in NextWorkAt.
+func (v *Vault) NextWorkSharp(now timing.PS) timing.PS {
+	wake := timing.Never
+	for _, r := range v.queue {
+		b := &v.banks[r.Bank]
+		var t0 timing.PS
+		if b.rowOpen && b.openRow == r.Row {
+			t0 = b.readyAt
+			if v.busUntil > t0 {
+				t0 = v.busUntil
+			}
+		} else {
+			t0 = b.readyAt
+		}
+		if t0 < v.refreshing {
+			t0 = v.refreshing
+		}
+		if t0 <= now {
+			return now
+		}
+		if t0 < wake {
+			wake = t0
+		}
+	}
+	for _, c := range v.done {
+		if c.at <= now {
+			return now
+		}
+		if c.at < wake {
+			wake = c.at
+		}
+	}
+	if v.cfg.TREFIps > 0 {
+		if v.nextRefresh <= now {
+			return now
+		}
+		if v.nextRefresh < wake {
+			wake = v.nextRefresh
+		}
+	}
+	return wake
+}
 
 // NextWorkAt returns the earliest time the vault could do work: now if any
 // request is queued or any completion is due, otherwise the earliest pending

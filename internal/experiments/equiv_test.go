@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -31,6 +33,10 @@ func TestIdleSkipEquivalence(t *testing.T) {
 			}
 			skip := RunOneWith(cfg, wl, sim.DynCache, 1, func(m *sim.Machine) {
 				m.SetIdleSkip(true)
+				// Re-poll every parked component at every fired edge: a
+				// missed external re-arm panics at the edge where it would
+				// first diverge instead of surfacing as a digest mismatch.
+				m.SetWakeCheck(true)
 			})
 			if skip.Err != nil {
 				t.Fatal(skip.Err)
@@ -40,6 +46,68 @@ func TestIdleSkipEquivalence(t *testing.T) {
 			}
 			if dense.Stats.SMCycles != skip.Stats.SMCycles {
 				t.Errorf("SM cycles diverged: dense=%d skip=%d", dense.Stats.SMCycles, skip.Stats.SMCycles)
+			}
+			if !reflect.DeepEqual(dense.Stats, skip.Stats) {
+				t.Errorf("stats diverged:\ndense: %+v\nskip:  %+v", dense.Stats, skip.Stats)
+			}
+			if dense.Energy != skip.Energy {
+				t.Errorf("energy diverged:\ndense: %+v\nskip:  %+v", dense.Energy, skip.Energy)
+			}
+		})
+	}
+}
+
+// TestIdleSkipEquivalenceFaultFuzz extends the equivalence proof to seeded
+// random fault schedules: frozen vaults, stalled NSUs, and severed links
+// force the simulator onto its fault paths (where per-component wake
+// scheduling is disabled and every ticker is polled), and the dense and
+// skipped runs must still be bit-identical. The schedules are generated from
+// fixed seeds, so a failure reproduces.
+func TestIdleSkipEquivalenceFaultFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	base := config.Default()
+	base.GPU.NumSMs = 4
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			cfg := base
+			cfg.Fault = config.FaultConfig{TimeoutCycles: 2000, MaxRetries: 3}
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				at := int64(1+rng.Intn(40)) * 250_000 // within every run's active window
+				switch rng.Intn(3) {
+				case 0:
+					cfg.Fault.Events = append(cfg.Fault.Events, config.FaultEvent{
+						Kind: "vaultfreeze", AtPS: at, DurPS: int64(2+rng.Intn(10)) * 1_000_000,
+						HMC: rng.Intn(cfg.NumHMCs), Vault: rng.Intn(cfg.HMC.NumVaults)})
+				case 1:
+					cfg.Fault.Events = append(cfg.Fault.Events, config.FaultEvent{
+						Kind: "nsustall", AtPS: at, DurPS: int64(2+rng.Intn(10)) * 1_000_000,
+						HMC: rng.Intn(cfg.NumHMCs)})
+				case 2:
+					cfg.Fault.Events = append(cfg.Fault.Events, config.FaultEvent{
+						Kind: "linkdown", AtPS: at, DurPS: int64(5+rng.Intn(20)) * 1_000_000,
+						HMC: rng.Intn(cfg.NumHMCs), Dim: rng.Intn(3)})
+				}
+			}
+			dense := RunOneWith(cfg, "VADD", sim.DynCache, 1, func(m *sim.Machine) {
+				m.SetIdleSkip(false)
+			})
+			if dense.Err != nil {
+				t.Fatal(dense.Err)
+			}
+			skip := RunOneWith(cfg, "VADD", sim.DynCache, 1, func(m *sim.Machine) {
+				m.SetIdleSkip(true)
+				m.SetWakeCheck(true)
+			})
+			if skip.Err != nil {
+				t.Fatal(skip.Err)
+			}
+			if dense.TimePS != skip.TimePS {
+				t.Errorf("elapsed time diverged: dense=%d skip=%d ps", dense.TimePS, skip.TimePS)
 			}
 			if !reflect.DeepEqual(dense.Stats, skip.Stats) {
 				t.Errorf("stats diverged:\ndense: %+v\nskip:  %+v", dense.Stats, skip.Stats)

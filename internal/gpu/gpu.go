@@ -62,6 +62,14 @@ type GPU struct {
 	cycles       int64
 	regionInstrs int64 // offload-region instructions since the last epoch
 
+	// Wake hooks, wired by the executor when the SM and crossbar domains are
+	// wake-scheduled on the engine (serial, fault-free runs). onWake re-arms
+	// the SM-domain slot after an external event dirties an SM's idle mirror;
+	// onXbarWake re-arms the crossbar slot when a direct L2 push gives it
+	// work. nil under dense or parallel execution.
+	onWake     func()
+	onXbarWake func()
+
 	// wtaInflight counts in-flight WTA packets per destination HMC, the
 	// §4.1.1 mechanism that lets dynamic memory management stall writes to
 	// a page being swapped while other stacks proceed.
@@ -292,6 +300,11 @@ func (g *GPU) Tick(now timing.PS) {
 	g.cycles++
 	if g.pool == nil {
 		for _, sm := range g.sms {
+			if sm.idleValid && sm.idleWake > now {
+				// Parked: the elided edges fold into pendingIdle lazily at the
+				// SM's next visit (tick's gap credit) or read (syncIdle).
+				continue
+			}
 			sm.tick(now)
 		}
 	} else {
@@ -398,6 +411,13 @@ func (g *GPU) tickParallel(now timing.PS) {
 			continue // the tick takes the idle fast path: no launch attempt
 		}
 		busy++
+		if gap := g.cycles - 1 - s.seenCycle; gap > 0 {
+			// Domain-level skips no longer push per-SM credit eagerly: fold
+			// the elided edges before the flush, exactly as a serial dense
+			// tick would.
+			s.pendingIdle += gap
+			s.seenCycle = g.cycles - 1
+		}
 		s.flushIdle()
 		s.idleValid = false
 		pre := g.nextCTA
@@ -465,14 +485,13 @@ func (g *GPU) NextWorkAt(now timing.PS) timing.PS {
 }
 
 // SkipIdle implements timing.IdleSkipper: credit n provably-empty SM cycles.
-// Each SM defers the per-cycle effects into its pending counter, flushed
-// before the affected state is next observed. The epoch counter check is safe
-// to omit because NextWorkAt never lets a skip reach an epoch boundary cycle.
+// Only the global cycle counter advances here; each SM folds its share of the
+// gap into its pending-idle batch lazily — at its next visited tick or via
+// syncIdle before a counter read — using its seenCycle watermark. The epoch
+// counter check is safe to omit because NextWorkAt never lets a skip reach an
+// epoch boundary cycle.
 func (g *GPU) SkipIdle(n int64) {
 	g.cycles += n
-	for _, sm := range g.sms {
-		sm.pendingIdle += n
-	}
 }
 
 // xbarTicker drives XbarTick with an idle hint: the crossbar domain has
@@ -503,6 +522,12 @@ func (x xbarTicker) NextWorkAt(now timing.PS) timing.PS {
 
 // XbarTicker returns the crossbar-domain ticker for this GPU.
 func (g *GPU) XbarTicker() timing.Ticker { return xbarTicker{g} }
+
+// SetWakeHook installs the SM-domain re-arm callback (wake scheduling).
+func (g *GPU) SetWakeHook(f func()) { g.onWake = f }
+
+// SetXbarWakeHook installs the crossbar-domain re-arm callback.
+func (g *GPU) SetXbarWakeHook(f func()) { g.onXbarWake = f }
 
 // XbarTick routes arrived messages and serves the L2 slices (crossbar/L2
 // clock domain).
@@ -586,7 +611,7 @@ func (g *GPU) Cycles() int64 { return g.cycles }
 func (g *GPU) CollectCacheStats() {
 	var l1 stats.CacheStats
 	for _, sm := range g.sms {
-		sm.flushIdle() // apply deferred idle cycles before reading counters
+		sm.syncIdle() // apply deferred + engine-elided idle cycles first
 		c := sm.l1.Stats
 		l1.Accesses += c.Accesses
 		l1.Hits += c.Hits

@@ -151,6 +151,7 @@ func TestStallClassificationWarpIdle(t *testing.T) {
 	w.waitAck = true
 	before := g.st.NoIssue[stats.WarpIdle]
 	sm.tick(1429)
+	sm.flushIdle() // certify-first defers an empty tick's classification
 	if g.st.NoIssue[stats.WarpIdle] != before+1 {
 		t.Fatalf("ack-blocked warp not classified as warp idle: %+v", g.st.NoIssue)
 	}
@@ -163,6 +164,7 @@ func TestStallClassificationDependency(t *testing.T) {
 	sm.tick(1429)            // cold L1I fetch first
 	before := g.st.NoIssue[stats.DependencyStall]
 	sm.tick(1 << 40) // fetch long since complete; operand still pending
+	sm.flushIdle()   // certify-first defers an empty tick's classification
 	if g.st.NoIssue[stats.DependencyStall] != before+1 {
 		t.Fatalf("operand hazard not classified as dependency stall: %+v", g.st.NoIssue)
 	}

@@ -131,6 +131,13 @@ type SM struct {
 	warps []*warp // slot -> warp (nil when free)
 	ctas  []*ctaState
 
+	// freeWarps recycles exited warp contexts: the per-warp register file
+	// dominates the simulator's allocation profile, so refill reuses retired
+	// structs instead of allocating. A warp is only pooled once nothing can
+	// reference it — no offload context and no outstanding L1 fills (a fill
+	// waiter holds the warp pointer until the line lands).
+	freeWarps []*warp
+
 	readyQ   []outPkt // ready packet buffer (drained 1/cycle to the fabric)
 	pendingQ []outPkt // pending packet buffer (target not yet known)
 
@@ -190,6 +197,13 @@ type SM struct {
 	// it; flushIdle replays the batch before anything can observe the
 	// affected state (a dense tick, a mirror-dirtying event, finalization).
 	pendingIdle int64
+
+	// seenCycle is the last GPU cycle this SM accounted for. The engine's
+	// wake scheduling advances the global cycle counter without visiting
+	// parked SMs, so each visit (or mirror-dirtying event) first folds the
+	// unvisited gap — all provably idle cycles — into pendingIdle via
+	// creditIdle.
+	seenCycle int64
 
 	// instSeq numbers offload instances per warp slot (monotonic across CTA
 	// reuse of the slot), feeding the duplicate-suppression tags of the
@@ -389,13 +403,17 @@ func (s *SM) recordTransfer(blockID, bytes int) {
 
 // pushL2 routes an L2-slice request: deferred to the commit log during a
 // parallel compute phase so the shared slices observe requests in SM index
-// order, direct otherwise.
+// order, direct otherwise. A direct push gives the crossbar domain work, so
+// it re-arms a parked crossbar ticker.
 func (s *SM) pushL2(r *l2Req) {
 	if s.g.smPhase {
 		s.pushLog = append(s.pushLog, r)
 		return
 	}
 	s.g.sliceFor(r.line).push(r)
+	if s.g.onXbarWake != nil {
+		s.g.onXbarWake()
+	}
 }
 
 // addWTA accounts an in-flight WTA packet: buffered per SM during a parallel
@@ -459,7 +477,19 @@ func (s *SM) refill() {
 		s.g.nextCTA++
 		cta := &ctaState{id: ctaID, live: warpsPerCTA}
 		for wi := 0; wi < warpsPerCTA; wi++ {
-			w := &warp{slot: free[wi], cta: cta}
+			var w *warp
+			if n := len(s.freeWarps); n > 0 {
+				w = s.freeWarps[n-1]
+				s.freeWarps[n-1] = nil
+				s.freeWarps = s.freeWarps[:n-1]
+				// Reset to fresh-allocation state; the whole-struct assignment
+				// zeroes the register file and scoreboard. The memq backing
+				// array survives — entries are written whole before use.
+				buf := w.memqBuf[:0]
+				*w = warp{slot: free[wi], cta: cta, memqBuf: buf}
+			} else {
+				w = &warp{slot: free[wi], cta: cta}
+			}
 			s.initWarp(w, ctaID, wi)
 			s.warps[free[wi]] = w
 			s.slotWake[free[wi]] = 0
@@ -497,13 +527,22 @@ func (s *SM) initWarp(w *warp, ctaID, warpInCTA int) {
 
 // tick advances the SM by one core clock.
 func (s *SM) tick(now timing.PS) {
+	c := s.g.cycles
 	if s.idleValid && s.idleWake > now {
 		// A prior computeIdle certified that nothing can issue strictly
 		// before idleWake and no external event has dirtied the mirror: the
-		// cycle's effects are deferred until something can observe them.
-		s.pendingIdle++
+		// cycle's effects are deferred until something can observe them. The
+		// credit covers this edge plus any the engine advanced past while the
+		// SM was parked — all provably idle for the same reason.
+		s.pendingIdle += c - s.seenCycle
+		s.seenCycle = c
 		return
 	}
+	if gap := c - 1 - s.seenCycle; gap > 0 {
+		// Edges elided while this SM was parked; this edge runs densely.
+		s.pendingIdle += gap
+	}
+	s.seenCycle = c
 	s.flushIdle()
 	s.idleValid = false
 	var launched bool
@@ -517,6 +556,22 @@ func (s *SM) tick(now timing.PS) {
 		s.refill()
 		launched = s.g.nextCTA != preCTA
 		s.ctaSnap = s.g.nextCTA
+	}
+	if !launched && len(s.readyQ) == 0 {
+		// Certify-first: decide from the mirror whether this tick could do
+		// anything beyond a blocked cycle's fixed effects. If it is provably
+		// empty, defer it like any other idle cycle instead of paying the
+		// dense per-warp walk — skipIdle's batched replay is bit-identical
+		// to the walk (same stall class, same L1I probe set in the same
+		// visit order, same final LRU stamps). A busy verdict leaves
+		// idleWake=now and the dense walk proceeds as before; the scan exits
+		// on the first busy warp, so busy ticks pay only a short prefix.
+		s.computeIdle(now)
+		if s.idleWake > now {
+			s.pendingIdle++
+			return
+		}
+		s.idleValid = false
 	}
 	s.aluUsed, s.lsuUsed, s.issued = 0, 0, 0
 	s.sawExecBlock, s.sawDepBlock, s.sawCreditBlock = false, false, false
@@ -905,13 +960,29 @@ func (s *SM) flushIdle() {
 	}
 }
 
+// syncIdle folds any engine-elided edges into the pending batch and flushes
+// it — the read barrier a counter consumer (finalization, stats collection)
+// runs before observing per-cycle state.
+func (s *SM) syncIdle() {
+	if c := s.g.cycles; c > s.seenCycle {
+		s.pendingIdle += c - s.seenCycle
+		s.seenCycle = c
+	}
+	s.flushIdle()
+}
+
 // dirtyIdle invalidates the idle mirror after an externally-driven state
 // change (ack delivery, L1 fill) that can unblock a warp. The pending idle
 // cycles were certified under the pre-event state, so they are replayed
-// before the event's effects land.
+// before the event's effects land. When the SM domain is wake-scheduled the
+// GPU may be parked past this point: the wake hook re-arms it so the next SM
+// edge runs densely.
 func (s *SM) dirtyIdle() {
-	s.flushIdle()
+	s.syncIdle()
 	s.idleValid = false
+	if s.g.onWake != nil {
+		s.g.onWake()
+	}
 }
 
 // schedOrder returns the warp-slot visit order for this cycle. GTO (greedy
@@ -1222,6 +1293,9 @@ func (s *SM) execCtrl(w *warp, in isa.Instr, now timing.PS) {
 func (s *SM) retireCTA(cta *ctaState) {
 	for _, w := range cta.warps {
 		s.warps[w.slot] = nil
+		if w.off == nil && w.outstanding == ([isa.NumRegs]int16{}) {
+			s.freeWarps = append(s.freeWarps, w)
+		}
 	}
 	for i, c := range s.ctas {
 		if c == cta {

@@ -45,6 +45,11 @@ type HMC struct {
 	// pendingReads merges concurrent reads of the same line (the logic
 	// layer's MSHR-like read-combining): one DRAM access serves them all.
 	pendingReads map[uint64][]func(at timing.PS)
+
+	// onWork, when set, is called when work enters the stack outside its own
+	// Tick (the local NSU submitting a write): the DRAM domain is
+	// wake-scheduled and this stack's slot must be re-armed.
+	onWork func(at timing.PS)
 }
 
 type pendingReq struct {
@@ -77,6 +82,10 @@ func (h *HMC) SetStats(st *stats.Stats) { h.st = st }
 
 // SetFault attaches the fault injector (vault freezes).
 func (h *HMC) SetFault(inj *fault.Injector) { h.flt = inj }
+
+// SetWakeHook installs the out-of-tick work re-arm callback (wake
+// scheduling).
+func (h *HMC) SetWakeHook(f func(at timing.PS)) { h.onWork = f }
 
 // EnableAudit attaches a DRAM bank-state auditor to every vault of this
 // stack.
@@ -240,6 +249,9 @@ func (h *HMC) dispatch(msg any, now timing.PS) {
 // SubmitNSUWrite lets the local NSU write its own stack without a network
 // traversal (implements nsu.WriteSubmitter).
 func (h *HMC) SubmitNSUWrite(p *core.WritePacket, now timing.PS) {
+	if h.onWork != nil {
+		h.onWork(now)
+	}
 	h.dispatch(p, now)
 }
 
@@ -258,7 +270,12 @@ func (h *HMC) Busy() bool {
 
 // NextWorkAt implements timing.IdleHint: the stack can do work now if any
 // vault has due work or the overflow queue is non-empty; otherwise it wakes
-// at the earliest vault completion/refresh edge or packet arrival.
+// at the earliest vault command/completion/refresh edge or packet arrival.
+// Fault-free runs use the per-bank sharp hint, which parks the stack across
+// pure DRAM-timing waits even with requests queued (SkipIdle's edge ledger
+// keeps BusyCycles exact over the parked stretch). Fault runs keep the
+// coarse queue-presence hint: a frozen vault is skipped by Tick and records
+// nothing densely, which the ledger's queue test would misrepresent.
 // pendingReads entries always have a backing request in a vault queue or the
 // overflow, so they need no separate term.
 func (h *HMC) NextWorkAt(now timing.PS) timing.PS {
@@ -266,8 +283,14 @@ func (h *HMC) NextWorkAt(now timing.PS) timing.PS {
 		return now
 	}
 	wake := timing.Never
+	sharp := h.flt == nil
 	for _, v := range h.vaults {
-		w := v.NextWorkAt(now)
+		var w timing.PS
+		if sharp {
+			w = v.NextWorkSharp(now)
+		} else {
+			w = v.NextWorkAt(now)
+		}
 		if w <= now {
 			return now
 		}
@@ -286,6 +309,15 @@ func (h *HMC) NextWorkAt(now timing.PS) timing.PS {
 	return wake
 }
 
+// SkipIdle implements timing.IdleSkipper: credit n elided DRAM edges to
+// every vault's edge ledger (settled lazily against each vault's queue
+// state).
+func (h *HMC) SkipIdle(n int64) {
+	for _, v := range h.vaults {
+		v.SkipIdle(n)
+	}
+}
+
 // VaultStats aggregates DRAM counters across vaults.
 func (h *HMC) VaultStats() dram.VaultStats {
 	var agg dram.VaultStats
@@ -298,7 +330,9 @@ func (h *HMC) VaultStats() dram.VaultStats {
 		agg.Precharges += s.Precharges
 		agg.QueueFullRejects += s.QueueFullRejects
 		agg.Refreshes += s.Refreshes
-		agg.BusyCycles += s.BusyCycles
+		// Fold the unsettled edge-ledger gap computationally: VaultStats
+		// backs metrics probes, which must stay side-effect free.
+		agg.BusyCycles += v.BusyCyclesNow()
 	}
 	return agg
 }

@@ -75,7 +75,14 @@ type Inbox struct {
 	// compute phase, and the shared auditor must observe ejections in the
 	// serial (commit) order.
 	out *Outbox
+	// wake, when set, is called on every Put with the arrival time: the
+	// endpoint's clock domain is wake-scheduled and a parked ticker must be
+	// re-armed no later than the message's delivery edge.
+	wake func(at timing.PS)
 }
+
+// SetWakeHook installs the per-arrival re-arm callback (wake scheduling).
+func (in *Inbox) SetWakeHook(f func(at timing.PS)) { in.wake = f }
 
 func (in *Inbox) less(i, j int) bool {
 	if in.h[i].At != in.h[j].At {
@@ -86,6 +93,9 @@ func (in *Inbox) less(i, j int) bool {
 
 // Put inserts a message arriving at time at.
 func (in *Inbox) Put(at timing.PS, msg any) {
+	if in.wake != nil {
+		in.wake(at)
+	}
 	in.seq++
 	in.h = append(in.h, Delivery{At: at, Msg: msg, seq: in.seq})
 	// Sift up.

@@ -140,6 +140,11 @@ type NSU struct {
 	idleValid bool
 	idleWake  timing.PS
 
+	// onWork, when set, is called from Deliver with the delivery time: the
+	// NSU domain is wake-scheduled and this NSU's slot must be re-armed no
+	// later than the edge that can first observe the packet.
+	onWork func(at timing.PS)
+
 	// Snapshot of the per-cycle statistics an empty tick would record,
 	// captured by the last evaluation that certified idleness; SkipIdle
 	// replays it for each retired cycle. Only idle evaluations overwrite it,
@@ -208,6 +213,9 @@ func (n *NSU) Failed() bool {
 	return n.flt != nil && (n.deadCleaned || n.flt.NSUFailedApplied(n.ID))
 }
 
+// SetWakeHook installs the Deliver-time re-arm callback (wake scheduling).
+func (n *NSU) SetWakeHook(f func(at timing.PS)) { n.onWork = f }
+
 // Deliver accepts a protocol packet routed to this NSU by the HMC logic
 // layer.
 func (n *NSU) Deliver(msg any, now timing.PS) {
@@ -215,6 +223,9 @@ func (n *NSU) Deliver(msg any, now timing.PS) {
 		return // dead silicon: arriving packets vanish into the failed stack
 	}
 	n.idleValid = false
+	if n.onWork != nil {
+		n.onWork(now)
+	}
 	switch m := msg.(type) {
 	case *core.CmdPacket:
 		if n.flt != nil && n.deliverCmdFaulty(m, now) {

@@ -166,20 +166,44 @@ func New(cfg config.Config, prog *analyzer.Program, mem *vm.System, dec core.Dec
 
 	m.engine = timing.NewEngine()
 	m.smDomain = m.engine.AddDomain("sm", timing.PeriodFromMHz(cfg.GPU.SMClockMHz))
-	m.smDomain.Attach(m.g)
 	xbar := m.engine.AddDomain("xbar", timing.PeriodFromMHz(cfg.GPU.XbarClockMHz))
-	xbar.Attach(m.g.XbarTicker())
 	dramDom := m.engine.AddDomain("dram", timing.PS(cfg.HMC.TCKps))
 	m.nsuDomain = m.engine.AddDomain("nsu", timing.PeriodFromMHz(cfg.NSU.ClockMHz))
 	m.par = cfg.EffParallel(cfg.GPU.NumSMs + cfg.NumHMCs)
-	if m.par > 1 {
-		m.assembleParallel(dramDom)
-	} else {
-		for _, h := range m.hmcs {
-			dramDom.Attach(h)
+	// Wake scheduling: in serial fault-free runs every simulated component is
+	// parked on its domain's wake wheel until its NextWorkAt, and every
+	// channel that can hand a parked component work (inbox delivery, direct
+	// NSU write submission, ack/fill events dirtying an SM mirror, direct L2
+	// pushes) re-arms the target's slot. Parallel runs keep plain attachment:
+	// shard phases call these channels concurrently, and the sharded executor
+	// already proves quiescence through the same hints. Fault runs stay
+	// polled too — a stalled NSU or frozen vault records nothing on a dense
+	// tick, which per-slot elision credit would misrepresent.
+	if m.par <= 1 && m.flt == nil {
+		gpuSlot := m.smDomain.AttachScheduled(m.g)
+		m.g.SetWakeHook(func() { m.smDomain.Wake(gpuSlot, 0) })
+		xbarSlot := xbar.AttachScheduled(m.g.XbarTicker())
+		m.g.SetXbarWakeHook(func() { xbar.Wake(xbarSlot, 0) })
+		fab.GPUInbox().SetWakeHook(func(at timing.PS) { xbar.Wake(xbarSlot, at) })
+		for i, h := range m.hmcs {
+			slot := dramDom.AttachScheduled(h)
+			fab.HMCInbox(i).SetWakeHook(func(at timing.PS) { dramDom.Wake(slot, at) })
+			h.SetWakeHook(func(at timing.PS) { dramDom.Wake(slot, at) })
+			nslot := m.nsuDomain.AttachScheduled(m.nsus[i])
+			m.nsus[i].SetWakeHook(func(at timing.PS) { m.nsuDomain.Wake(nslot, at) })
 		}
-		for _, n := range m.nsus {
-			m.nsuDomain.Attach(n)
+	} else {
+		m.smDomain.Attach(m.g)
+		xbar.Attach(m.g.XbarTicker())
+		if m.par > 1 {
+			m.assembleParallel(dramDom)
+		} else {
+			for _, h := range m.hmcs {
+				dramDom.Attach(h)
+			}
+			for _, n := range m.nsus {
+				m.nsuDomain.Attach(n)
+			}
 		}
 	}
 	m.smDomain.Attach(swapTicker{m})
@@ -293,6 +317,13 @@ func (t swapTicker) NextWorkAt(now timing.PS) timing.PS {
 // default). With it off the engine fires every clock edge densely — the
 // reference behaviour the differential tests compare against.
 func (m *Machine) SetIdleSkip(on bool) { m.engine.SetIdleSkip(on) }
+
+// SetWakeCheck toggles the engine's parked-ticker verification mode: every
+// elided scheduled ticker is re-polled live at each fired edge, and a parked
+// component that reports due work panics immediately — catching a missed
+// external re-arm at the edge where it would first diverge. Used by the
+// equivalence suites; too expensive for normal runs.
+func (m *Machine) SetWakeCheck(on bool) { m.engine.SetWakeCheck(on) }
 
 // EnableAudit attaches the invariant auditor to every layer of the machine:
 // the fabric (packet conservation, offload-protocol legality), every DRAM

@@ -21,6 +21,22 @@
 // a component with a timer (DRAM refresh, an epoch boundary) reports that
 // time from NextWorkAt and the skip stops at the edge that would have
 // observed it.
+//
+// # Per-component wake scheduling
+//
+// Domain-level skipping only pays off when the whole domain is idle; on a
+// busy edge every attached component is still ticked. AttachScheduled parks
+// a component on the domain's wake wheel instead: after each real tick its
+// NextWorkAt is cached as a wake time, a fired edge ticks only the components
+// whose wake is due (crediting the others one SkipIdle edge each, so
+// per-cycle statistics stay exact), and an external event that hands a parked
+// component work re-arms it immediately through Domain.Wake. A stale-early
+// wake is harmless — the component ticks, proves idle again, and re-parks —
+// so conservative hints and event-time wakes are always safe; only a missed
+// re-arm can diverge, which Engine.SetWakeCheck turns into a loud panic for
+// the equivalence suites. Components whose Tick must piggyback on every fired
+// edge regardless of their own work (the invariant auditor) stay on plain
+// Attach, which preserves the poll-every-edge contract exactly.
 package timing
 
 import (
@@ -75,20 +91,29 @@ type Domain struct {
 
 	next     PS
 	tickers  []Ticker
-	hints    []IdleHint // parallel to tickers when hintable, else nil
-	skippers []IdleSkipper
-	hintable bool
+	polled   []IdleHint    // hints of polled (plain Attach) tickers, in attach order
+	skippers []IdleSkipper // every attached skipper, polled and scheduled
+	hintable bool          // every polled ticker implements IdleHint
+
+	// Per-component wake scheduling (AttachScheduled): slot maps each ticker
+	// to its wake-wheel slot (-1 for polled tickers); schedHint/schedSkip are
+	// indexed by slot.
+	slot      []int
+	wheel     Wheel
+	schedHint []IdleHint
+	schedSkip []IdleSkipper
 }
 
 // Engine schedules a set of clock domains over integer-picosecond time.
 type Engine struct {
-	domains  []*Domain
-	now      PS
-	skip     bool
-	limit    PS
-	fired    bool
-	preSteps []func(now PS)
-	canceled atomic.Bool
+	domains   []*Domain
+	now       PS
+	skip      bool
+	limit     PS
+	fired     bool
+	wakeCheck bool
+	preSteps  []func(now PS)
+	canceled  atomic.Bool
 }
 
 // Cancel requests a cooperative stop: RunUntil returns (ok=false) at the next
@@ -118,6 +143,14 @@ func (e *Engine) SetIdleSkip(on bool) { e.skip = on }
 // IdleSkip reports whether idle skipping is enabled.
 func (e *Engine) IdleSkip() bool { return e.skip }
 
+// SetWakeCheck enables a verification mode for the equivalence suites: at
+// every fired edge, each scheduled ticker elided because its cached wake lies
+// in the future is re-polled live, and a hint that contradicts the cache —
+// work due now on a component the wheel believes is parked — panics with the
+// offender. This catches a missed external re-arm at the edge where it would
+// first diverge, instead of as a downstream digest mismatch.
+func (e *Engine) SetWakeCheck(on bool) { e.wakeCheck = on }
+
 // PeriodFromMHz converts a frequency in MHz to an integer period in
 // picoseconds (rounded to the nearest ps; at 700 MHz the rounding error is
 // 0.03%, irrelevant at simulation fidelity).
@@ -134,26 +167,60 @@ func (e *Engine) AddDomain(name string, periodPS PS) *Domain {
 	if periodPS <= 0 {
 		panic(fmt.Sprintf("timing: non-positive period %d ps for domain %s", periodPS, name))
 	}
-	d := &Domain{Name: name, PeriodPS: periodPS, next: periodPS}
+	d := &Domain{Name: name, PeriodPS: periodPS, next: periodPS, hintable: true}
+	d.wheel.min = Never
 	e.domains = append(e.domains, d)
 	return d
 }
 
-// Attach adds a component to the domain. The domain becomes skippable only
-// if every attached component implements IdleHint.
+// Attach adds a polled component to the domain: it is ticked at every fired
+// edge and its IdleHint (if any) is live-polled when the engine certifies
+// idle stretches. The domain stays skippable only while every polled
+// component implements IdleHint.
 func (d *Domain) Attach(t Ticker) {
 	d.tickers = append(d.tickers, t)
-	if h, ok := t.(IdleHint); ok && (d.hintable || len(d.tickers) == 1) {
-		d.hints = append(d.hints, h)
-		d.hintable = true
+	d.slot = append(d.slot, -1)
+	if h, ok := t.(IdleHint); ok && d.hintable {
+		d.polled = append(d.polled, h)
 	} else {
 		d.hintable = false
-		d.hints = nil
+		d.polled = nil
 	}
 	if s, ok := t.(IdleSkipper); ok {
 		d.skippers = append(d.skippers, s)
 	}
 }
+
+// AttachScheduled adds a component under per-component wake scheduling: after
+// each real tick its NextWorkAt is cached on the domain's wake wheel, fired
+// edges before that wake elide the Tick (crediting one SkipIdle edge so
+// per-cycle statistics stay exact), and external events re-arm it through
+// Wake with the returned slot index. The component must implement IdleHint —
+// a parked component is only ever woken by its own cached promise or an
+// explicit Wake, so a missing hint would park it forever.
+func (d *Domain) AttachScheduled(t Ticker) int {
+	h, ok := t.(IdleHint)
+	if !ok {
+		panic(fmt.Sprintf("timing: AttachScheduled on domain %s requires IdleHint (%T)", d.Name, t))
+	}
+	d.tickers = append(d.tickers, t)
+	slot := d.wheel.Add(0) // due at the first edge
+	d.slot = append(d.slot, slot)
+	d.schedHint = append(d.schedHint, h)
+	s, _ := t.(IdleSkipper)
+	d.schedSkip = append(d.schedSkip, s)
+	if s != nil {
+		d.skippers = append(d.skippers, s)
+	}
+	return slot
+}
+
+// Wake re-arms a scheduled component (by the slot AttachScheduled returned)
+// to be due no later than `at` — the external-event path: a packet arrival,
+// credit return, or offload ack that hands a parked component work. Waking
+// earlier than necessary is always safe; the component ticks, proves idle,
+// and re-parks.
+func (d *Domain) Wake(slot int, at PS) { d.wheel.Wake(slot, at) }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() PS { return e.now }
@@ -166,8 +233,11 @@ func (d *Domain) effNext(now PS) PS {
 	if !d.hintable {
 		return d.next
 	}
-	wake := Never
-	for _, h := range d.hints {
+	wake := d.wheel.Min() // cached wakes of the scheduled tickers
+	if wake <= d.next {
+		return d.next
+	}
+	for _, h := range d.polled {
 		if w := h.NextWorkAt(now); w < wake {
 			wake = w
 			if wake <= d.next {
@@ -262,11 +332,33 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		// Edge exactly at `next` with work due: retire the certified-idle
-		// edges before it and fire.
+		// edges before it and fire. Polled tickers tick unconditionally;
+		// scheduled tickers tick only when their cached wake is due, with the
+		// elided ones credited a single idle edge (their own wake bounds the
+		// elision, so a timer a component reported is never crossed).
 		d.skipTo(next)
 		d.Cycles++
-		for _, t := range d.tickers {
+		for i, t := range d.tickers {
+			slot := d.slot[i]
+			if slot < 0 {
+				t.Tick(next)
+				continue
+			}
+			if d.wheel.At(slot) > next {
+				if e.wakeCheck {
+					if w := d.schedHint[slot].NextWorkAt(next); w <= next {
+						panic(fmt.Sprintf(
+							"timing: domain %s ticker %d (%T) parked until %d but reports work at %d (now %d)",
+							d.Name, i, t, d.wheel.At(slot), w, next))
+					}
+				}
+				if s := d.schedSkip[slot]; s != nil {
+					s.SkipIdle(1)
+				}
+				continue
+			}
 			t.Tick(next)
+			d.wheel.Arm(slot, d.schedHint[slot].NextWorkAt(next))
 		}
 		d.next = next + d.PeriodPS
 		e.fired = true
@@ -290,8 +382,14 @@ func (e *Engine) stepDense() bool {
 	for _, d := range e.domains {
 		if d.next == next {
 			d.Cycles++
-			for _, t := range d.tickers {
+			for i, t := range d.tickers {
 				t.Tick(next)
+				if slot := d.slot[i]; slot >= 0 {
+					// Keep scheduled slots due so a later switch back to
+					// skipping mode never trusts a wake cached before the
+					// dense stretch mutated state.
+					d.wheel.Arm(slot, 0)
+				}
 			}
 			d.next += d.PeriodPS
 		}

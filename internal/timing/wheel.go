@@ -1,0 +1,81 @@
+package timing
+
+// Wheel is a wake-time calendar for a fixed set of scheduled components: one
+// absolute picosecond wake slot per component plus a cached minimum, so the
+// engine's "who is due at this edge" question is a slot compare and the
+// "when is the earliest work" question is O(1) between re-arms. The sets it
+// tracks are small (a domain's tickers, a stack's vaults), so the lazy rescan
+// on a min invalidation beats a bucketed calendar queue; hierarchy comes from
+// nesting wheels (engine over components, a stack over its vaults) rather
+// than from multi-level buckets. All operations are allocation-free after
+// construction.
+type Wheel struct {
+	at    []PS
+	min   PS // exact minimum when !dirty; meaningless while dirty
+	dirty bool
+}
+
+// NewWheel returns an empty wheel (Min reports Never).
+func NewWheel() *Wheel { return &Wheel{min: Never} }
+
+// Add appends a slot armed at `at` and returns its index.
+func (w *Wheel) Add(at PS) int {
+	w.at = append(w.at, at)
+	if at < w.min {
+		w.min = at
+	}
+	return len(w.at) - 1
+}
+
+// Len returns the number of slots.
+func (w *Wheel) Len() int { return len(w.at) }
+
+// At returns slot i's current wake time.
+func (w *Wheel) At(i int) PS { return w.at[i] }
+
+// Arm sets slot i's wake time to `at`, earlier or later than the current
+// value. Arming later than the cached minimum marks the minimum for a lazy
+// rescan; arming earlier updates it in place.
+func (w *Wheel) Arm(i int, at PS) {
+	old := w.at[i]
+	if at == old {
+		return
+	}
+	w.at[i] = at
+	if at > old {
+		if !w.dirty && old <= w.min {
+			w.dirty = true
+		}
+		return
+	}
+	if at < w.min {
+		w.min = at
+	}
+}
+
+// Wake arms slot i at `at` only if that is earlier than its current wake —
+// the monotone re-arm an external event (packet arrival, credit return,
+// offload ack) performs. A wake in the past simply makes the slot due at the
+// next edge; waking a Never slot re-parks it at the event time.
+func (w *Wheel) Wake(i int, at PS) {
+	if at < w.at[i] {
+		w.Arm(i, at)
+	}
+}
+
+// Min returns the earliest wake time across all slots (Never when the wheel
+// is empty or fully drained), rescanning only if a slot was re-armed later
+// since the last call.
+func (w *Wheel) Min() PS {
+	if w.dirty {
+		m := Never
+		for _, t := range w.at {
+			if t < m {
+				m = t
+			}
+		}
+		w.min = m
+		w.dirty = false
+	}
+	return w.min
+}
