@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test test-short test-race vet lint check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke bench-profile bench-history test-parallel test-parallel-fused golden golden-update serve-test load-test chaos-serve clean
+# staticcheck version `make lint` and CI both use, so local and CI lint agree.
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: build test test-short test-race vet lint install-staticcheck check audit chaos bench bench-engine bench-barrier bench-scaling bench-smoke bench-profile bench-history test-parallel test-parallel-fused test-backends test-backends-short golden golden-update serve-test load-test chaos-serve clean
 
 build:
 	$(GO) build ./...
@@ -32,14 +35,18 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... ; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (make install-staticcheck)"; \
 	fi
+
+# Install the pinned staticcheck (the version CI runs) into GOBIN.
+install-staticcheck:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 # Pre-PR gate: build everything, vet, run the short suite, then the race
 # detector over the packages with concurrent test harnesses. Run this (plus
 # `make audit` when the memory system or protocol changed) before sending
 # a change out.
-check: build vet test-short
+check: build vet test-short test-backends-short
 	$(GO) test -race -short -timeout 20m ./internal/sim ./internal/noc ./internal/timing
 	$(GO) test -race -short -run '^TestChaosServe$$' -timeout 15m ./cmd/ndpserve
 
@@ -93,6 +100,18 @@ test-parallel:
 
 test-parallel-fused:
 	$(GO) test -race -run '^TestParallelEquivalenceFused' -timeout 45m ./internal/sim
+
+# Architecture-backend suite: the placement/translation policy unit tests plus
+# the oracle-differential, memory-invariance, and parallel-equivalence legs
+# for every non-default backend (coda, coda-ft, ndpage). The short form runs
+# the VADD subset; CI's backends job runs the full matrix.
+test-backends:
+	$(GO) test -v ./internal/backend
+	$(GO) test -run '^TestBackend' -timeout 30m -v ./internal/sim
+
+test-backends-short:
+	$(GO) test -short ./internal/backend
+	$(GO) test -short -run '^TestBackend' -timeout 10m ./internal/sim
 
 # Golden-digest regression gate: recompute the per-workload x mode statistic
 # digests (deterministic) and diff them against the committed file. Any drift

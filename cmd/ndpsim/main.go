@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 
+	"ndpgpu/internal/backend"
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/energy"
@@ -45,6 +46,7 @@ func main() {
 	var (
 		workload = flag.String("workload", "VADD", "workload abbreviation (see -list)")
 		mode     = flag.String("mode", "baseline", sim.ModeUsage)
+		arch     = flag.String("arch", "", "architecture backend: "+backend.Usage()+" (default paper)")
 		scale    = flag.Int("scale", 1, "problem-size scale factor")
 		sms      = flag.Int("sms", 0, "override SM count (0 = Table 2 default)")
 		nsuMHz   = flag.Int("nsumhz", 0, "override NSU clock in MHz (0 = default 350)")
@@ -87,6 +89,10 @@ func main() {
 	}
 
 	cfg := config.Default()
+	cfg.Arch.Backend = *arch
+	if _, err := backend.For(*arch); err != nil {
+		fatal(err)
+	}
 	cfg.Parallel = *par
 	cfg.FusionWidth = *fuse
 	cfg.NoQuiescentBatch = *noBatch

@@ -6,7 +6,13 @@
 //	ndpsweep -exp fig9 -scale 1
 //
 // Experiments: table1 table2 fig5 fig7 fig8 fig9 fig10 fig11 inval
-// morecompute nsufreq rocache topology overhead all.
+// morecompute nsufreq rocache topology overhead backends all.
+//
+// backends is the cross-architecture sweep: every workload under every
+// golden mode on each architecture backend (paper, coda, coda-ft, ndpage —
+// see README "Architecture backends"), reporting runtime relative to the
+// paper design and a verdict on unrestricted placement vs co-location.
+// With -csvdir it also writes backends.csv.
 //
 // A failing experiment no longer aborts the sweep: the remaining
 // experiments still run (dependents of the failed one are skipped), a
@@ -64,7 +70,7 @@ var leafExps = []leafExp{
 // knownExps returns every accepted -exp value, sorted.
 func knownExps() []string {
 	names := []string{"all", "table1", "table2", "overhead", "fig5",
-		"fig7", "fig8", "fig9", "fig10", "fig11", "inval"}
+		"fig7", "fig8", "fig9", "fig10", "fig11", "inval", "backends"}
 	for _, l := range leafExps {
 		names = append(names, l.name)
 	}
@@ -262,6 +268,24 @@ func run(args []string, w, werr io.Writer) int {
 			}
 		} else {
 			skip("fig10", "fig11", "inval")
+		}
+	}
+	if need("backends") {
+		bk, err := experiments.Backends(w, cfg, *scale)
+		if check("backends", err) && *csvDir != "" {
+			cols := append([]string{"workload", "mode"}, experiments.BackendArchs...)
+			t := report.New("Cross-architecture runtime (us)", cols...)
+			for _, mode := range bk.Modes {
+				for _, wl := range experiments.Workloads() {
+					row := []string{wl, mode}
+					for _, arch := range bk.Archs {
+						row = append(row, fmt.Sprintf("%.3f",
+							float64(bk.Get(wl, arch, mode).TimePS)/1e6))
+					}
+					t.AddRow(row...)
+				}
+			}
+			check("backends.csv", writeCSV(*csvDir, "backends.csv", t))
 		}
 	}
 	for _, l := range leafExps {

@@ -182,6 +182,85 @@ type MemConfig struct {
 	PlacementSeed int64 // seed for random page->HMC placement
 }
 
+// ArchConfig selects the NDP architecture backend: the design point the
+// machine is assembled for. The zero value is the paper's partitioned
+// execution (random 4 KB page interleave, GPU-owned translation) — every
+// field below only takes effect when a non-default backend turns it on.
+type ArchConfig struct {
+	// Backend names the architecture: "" or "paper" (the default,
+	// partitioned execution per the source paper), "coda" (CODA-style
+	// locality-aware placement: pages steered to the stack that computes on
+	// them), "coda-ft" (its first-touch variant), or "ndpage" (NDPage-style
+	// stack-side translation for offloaded accesses). Resolved and validated
+	// by internal/backend.
+	Backend string
+
+	// StackXlat moves address translation for offloaded (NDP) accesses from
+	// the GPU's SM TLBs to the memory stacks: offloaded requests skip the SM
+	// TLB, and each stack charges its own tailored page-table walk at the
+	// logic layer (the NDPage model). Set by the ndpage backend's Apply; the
+	// baseline request path is unaffected. The knobs below size the
+	// per-stack translation hardware and are ignored while this is false.
+	StackXlat bool
+
+	// Per-stack TLB geometry over 4 KB pages (0 = defaults via the Eff
+	// helpers). The stack walk is cheaper than the GPU's 80-SM-cycle walk
+	// because the page table is resident in the stack's own DRAM.
+	StackTLBEntries int
+	StackTLBWays    int
+	StackWalkCycles int // DRAM tCK cycles charged per stack-TLB miss
+}
+
+// StackTranslation reports whether the stacks own translation for offloaded
+// accesses (the NDPage model).
+func (a ArchConfig) StackTranslation() bool { return a.StackXlat }
+
+// EffStackTLBEntries returns StackTLBEntries with the default applied.
+func (a ArchConfig) EffStackTLBEntries() int {
+	if a.StackTLBEntries > 0 {
+		return a.StackTLBEntries
+	}
+	return 32
+}
+
+// EffStackTLBWays returns StackTLBWays with the default applied.
+func (a ArchConfig) EffStackTLBWays() int {
+	if a.StackTLBWays > 0 {
+		return a.StackTLBWays
+	}
+	return 4
+}
+
+// EffStackWalkCycles returns StackWalkCycles with the default applied: 30
+// DRAM cycles (45 ns at the Table 2 tCK), well under the GPU's 80-SM-cycle
+// (~114 ns) host-side walk — the stack walks a page table held in its own
+// vaults.
+func (a ArchConfig) EffStackWalkCycles() int {
+	if a.StackWalkCycles > 0 {
+		return a.StackWalkCycles
+	}
+	return 30
+}
+
+// Validate checks the architecture knobs for internal consistency. Backend
+// names are resolved by internal/backend (which layers on top of this
+// package), so only the numeric knobs are checked here.
+func (a ArchConfig) Validate() error {
+	if a.StackTLBEntries < 0 || a.StackTLBWays < 0 || a.StackWalkCycles < 0 {
+		return errors.New("stack-TLB knobs must be non-negative")
+	}
+	if a.StackXlat {
+		entries, ways := a.EffStackTLBEntries(), a.EffStackTLBWays()
+		if entries%ways != 0 {
+			return fmt.Errorf("stack-TLB entries %d not divisible by ways %d", entries, ways)
+		}
+		if sets := entries / ways; sets&(sets-1) != 0 {
+			return fmt.Errorf("stack-TLB sets %d not a power of two", sets)
+		}
+	}
+	return nil
+}
+
 // FaultEvent is one scheduled fault. Times are absolute simulated
 // picoseconds; DurPS==0 makes the fault permanent (legal for linkdown and
 // nsufail; vaultfreeze and nsustall must be windowed so the run can drain).
@@ -276,6 +355,7 @@ type Config struct {
 	NSU     NSUConfig
 	NDP     NDPConfig
 	Mem     MemConfig
+	Arch    ArchConfig  // zero value = the paper's architecture (strict no-op)
 	Fault   FaultConfig // zero value = fault-free (strict no-op)
 
 	// Parallel selects deterministic sharded execution of the tick engine:
@@ -518,6 +598,9 @@ func (c Config) Validate() error {
 	}
 	if c.NDP.EpochCycles <= 0 {
 		return errors.New("epoch length must be positive")
+	}
+	if err := c.Arch.Validate(); err != nil {
+		return err
 	}
 	if err := c.Fault.Validate(c.NumHMCs, c.HMC.NumVaults); err != nil {
 		return err

@@ -90,6 +90,12 @@ var knobs = map[string]knob{
 	"mem.placementseed": {"page-placement PRNG seed", func(c *Config, v float64) error {
 		return setInt64(&c.Mem.PlacementSeed, v)
 	}},
+	"arch.stacktlbentries": {"per-stack TLB entries (ndpage backend, 0 = default)", func(c *Config, v float64) error {
+		return setInt(&c.Arch.StackTLBEntries, v)
+	}},
+	"arch.stackwalkcycles": {"stack page-walk cost in DRAM cycles (ndpage backend, 0 = default)", func(c *Config, v float64) error {
+		return setInt(&c.Arch.StackWalkCycles, v)
+	}},
 	"fault.timeoutcycles": {"first offload-retry timeout (SM cycles)", func(c *Config, v float64) error {
 		return setInt64(&c.Fault.TimeoutCycles, v)
 	}},

@@ -11,33 +11,58 @@ import (
 // workload: the host baseline plus both NDP offload mechanisms.
 var goldenModes = []sim.Mode{sim.Baseline, sim.NaiveNDP, sim.DynNDP}
 
-// GoldenDigests runs every Table 1 workload under the golden modes and
-// returns one flattened counter digest per run, keyed "workload|mode". Each
-// digest is the reflection-walked statistics bundle (so a newly added counter
-// is pinned automatically) plus the simulated end time and total energy. The
+// goldenArchs are the non-default architecture backends whose digests the
+// regression gate also pins, one entry per workload x mode x arch keyed by
+// GoldenKeyArch. The default ("paper") architecture keeps the bare
+// workload|mode keys so its legs stay byte-compatible with history.
+var goldenArchs = []string{"coda", "coda-ft", "ndpage"}
+
+// GoldenDigests runs every Table 1 workload under the golden modes — on the
+// default architecture and on every goldenArchs backend — and returns one
+// flattened counter digest per run. Default-architecture runs are keyed
+// "workload|mode"; backend runs are keyed "workload|mode|arch". Each digest
+// is the reflection-walked statistics bundle (so a newly added counter is
+// pinned automatically) plus the simulated end time and total energy. The
 // simulator is deterministic, so any digest change is a behavior change.
 func GoldenDigests(cfg config.Config, scale int) (map[string]map[string]float64, error) {
-	var jobs []job
-	for _, wl := range Workloads() {
-		for _, m := range goldenModes {
-			jobs = append(jobs, job{workload: wl, mode: m, cfg: cfg})
+	out := make(map[string]map[string]float64)
+	// runAll keys by workload|mode, so each architecture is its own batch.
+	for _, arch := range append([]string{""}, goldenArchs...) {
+		acfg := cfg
+		acfg.Arch.Backend = arch
+		var jobs []job
+		for _, wl := range Workloads() {
+			for _, m := range goldenModes {
+				jobs = append(jobs, job{workload: wl, mode: m, cfg: acfg})
+			}
 		}
-	}
-	runs := runAll(jobs, scale)
-	if err := checkErrs(runs); err != nil {
-		return nil, err
-	}
-	out := make(map[string]map[string]float64, len(runs))
-	for key, r := range runs {
-		d := r.Stats.Digest()
-		d["TimePS"] = float64(r.TimePS)
-		d["EnergyTotalPJ"] = r.Energy.Total()
-		out[key] = d
+		runs := runAll(jobs, scale)
+		if err := checkErrs(runs); err != nil {
+			if arch != "" {
+				err = fmt.Errorf("arch %s: %w", arch, err)
+			}
+			return nil, err
+		}
+		for key, r := range runs {
+			d := r.Stats.Digest()
+			d["TimePS"] = float64(r.TimePS)
+			d["EnergyTotalPJ"] = r.Energy.Total()
+			if arch != "" {
+				key = key + "|" + arch
+			}
+			out[key] = d
+		}
 	}
 	return out, nil
 }
 
-// GoldenKey names one golden-digest entry.
+// GoldenKey names one default-architecture golden-digest entry.
 func GoldenKey(workload, mode string) string {
 	return fmt.Sprintf("%s|%s", workload, mode)
+}
+
+// GoldenKeyArch names one golden-digest entry for a non-default architecture
+// backend.
+func GoldenKeyArch(workload, mode, arch string) string {
+	return fmt.Sprintf("%s|%s|%s", workload, mode, arch)
 }

@@ -1416,20 +1416,25 @@ func (s *SM) setupMem(w *warp, in isa.Instr, now timing.PS) bool {
 
 	// Translate: every distinct page goes through the SM's TLB (the GPU
 	// owns translation in partitioned execution, §4.1); a miss delays the
-	// affected line accesses by the page-walk latency.
+	// affected line accesses by the page-walk latency. Under the ndpage
+	// backend translation for offloaded accesses lives on the stacks
+	// instead: the SM TLB is skipped here and the home stack charges its
+	// own tailored walk at the logic layer.
 	walk := timing.PS(s.g.cfg.GPU.TLBMissLatency) * s.g.smPeriod
 	pageMask := ^uint64(s.g.cfg.Mem.PageBytes - 1)
 	var missPage uint64
-	seenPage := uint64(1) // addresses never map page 1 (offset within page 0x1000+)
-	for _, la := range lines {
-		page := la.LineAddr & pageMask
-		if page == seenPage {
-			continue
-		}
-		seenPage = page
-		if !s.tlb.Lookup(page) {
-			s.tlb.Fill(page)
-			missPage = page | 1
+	if !offload || !s.g.cfg.Arch.StackXlat {
+		seenPage := uint64(1) // addresses never map page 1 (offset within page 0x1000+)
+		for _, la := range lines {
+			page := la.LineAddr & pageMask
+			if page == seenPage {
+				continue
+			}
+			seenPage = page
+			if !s.tlb.Lookup(page) {
+				s.tlb.Fill(page)
+				missPage = page | 1
+			}
 		}
 	}
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"ndpgpu/internal/audit"
+	"ndpgpu/internal/cache"
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
 	"ndpgpu/internal/dram"
@@ -42,6 +43,17 @@ type HMC struct {
 	overflowCap int          // backpressure threshold for the overflow queue
 	flt         *fault.Injector
 
+	// Stack-side address translation (the ndpage backend): offloaded
+	// accesses arriving at this stack's logic layer look up a per-stack TLB
+	// over 4 KB pages; a miss defers the packet's dispatch by the tailored
+	// page-walk latency through xlatQ. All nil/empty under the default
+	// architecture, where the GPU owns translation and this path is a
+	// strict no-op.
+	xlat       *cache.Cache
+	xlatQ      []xlatEntry
+	xlatWalkPS timing.PS
+	pageMask   uint64
+
 	// pendingReads merges concurrent reads of the same line (the logic
 	// layer's MSHR-like read-combining): one DRAM access serves them all.
 	pendingReads map[uint64][]func(at timing.PS)
@@ -57,6 +69,14 @@ type pendingReq struct {
 	req   *dram.Request
 }
 
+// xlatEntry is one packet waiting out its stack-side page walk. The walk
+// latency is a constant, so entries are appended and drained in FIFO order —
+// the queue is time-ordered by construction.
+type xlatEntry struct {
+	msg any
+	due timing.PS
+}
+
 // New builds a stack.
 func New(id int, cfg config.Config, mem *vm.System, fab *noc.Fabric, st *stats.Stats) *HMC {
 	h := &HMC{ID: id, cfg: cfg, mem: mem, fab: fab, out: fab, st: st,
@@ -64,6 +84,16 @@ func New(id int, cfg config.Config, mem *vm.System, fab *noc.Fabric, st *stats.S
 		pendingReads: make(map[uint64][]func(at timing.PS))}
 	for v := 0; v < cfg.HMC.NumVaults; v++ {
 		h.vaults = append(h.vaults, dram.NewVault(cfg.HMC))
+	}
+	if cfg.Arch.StackXlat {
+		h.xlat = cache.New(config.CacheGeom{
+			SizeBytes: cfg.Arch.EffStackTLBEntries() * cfg.Mem.PageBytes,
+			Ways:      cfg.Arch.EffStackTLBWays(),
+			LineBytes: cfg.Mem.PageBytes,
+			MSHRs:     1,
+		})
+		h.xlatWalkPS = timing.PS(cfg.Arch.EffStackWalkCycles() * cfg.HMC.TCKps)
+		h.pageMask = ^uint64(cfg.Mem.PageBytes - 1)
 	}
 	return h
 }
@@ -112,6 +142,9 @@ func (h *HMC) Tick(now timing.PS) {
 		v.Tick(now)
 	}
 	h.retryOverflow()
+	if len(h.xlatQ) > 0 {
+		h.drainXlat(now)
+	}
 	inbox := h.fab.HMCInbox(h.ID)
 	for {
 		if len(h.overflow) >= h.overflowCap {
@@ -170,7 +203,55 @@ func (h *HMC) readLine(line uint64, now timing.PS, done func(at timing.PS)) {
 	})
 }
 
+// dispatch routes one arrived message, first passing offloaded accesses
+// through the stack-side translation stage when this stack owns translation
+// (ndpage backend). A TLB miss parks the message in xlatQ for the page-walk
+// latency; dispatchTranslated finishes the routing once the walk is paid.
 func (h *HMC) dispatch(msg any, now timing.PS) {
+	if h.xlat != nil {
+		switch m := msg.(type) {
+		case *core.RDFPacket:
+			if h.deferXlat(m.Access.LineAddr, msg, now) {
+				return
+			}
+		case *core.WritePacket:
+			if h.deferXlat(m.Access.LineAddr, msg, now) {
+				return
+			}
+		}
+	}
+	h.dispatchTranslated(msg, now)
+}
+
+// deferXlat runs one stack-TLB lookup for the page of addr. On a hit the
+// caller proceeds immediately; on a miss the message is queued until the
+// page walk completes and true is returned. The entry is filled at miss
+// time, so concurrent accesses to the same page behind the walk hit.
+func (h *HMC) deferXlat(addr uint64, msg any, now timing.PS) bool {
+	page := addr & h.pageMask
+	h.st.StackTLB.Accesses++
+	if h.xlat.Lookup(page) {
+		h.st.StackTLB.Hits++
+		return false
+	}
+	h.xlat.Fill(page)
+	h.st.StackTLB.Fills++
+	h.xlatQ = append(h.xlatQ, xlatEntry{msg: msg, due: now + h.xlatWalkPS})
+	return true
+}
+
+// drainXlat dispatches every queued message whose page walk has completed.
+func (h *HMC) drainXlat(now timing.PS) {
+	for len(h.xlatQ) > 0 && h.xlatQ[0].due <= now {
+		e := h.xlatQ[0]
+		copy(h.xlatQ, h.xlatQ[1:])
+		h.xlatQ[len(h.xlatQ)-1] = xlatEntry{}
+		h.xlatQ = h.xlatQ[:len(h.xlatQ)-1]
+		h.dispatchTranslated(e.msg, now)
+	}
+}
+
+func (h *HMC) dispatchTranslated(msg any, now timing.PS) {
 	switch m := msg.(type) {
 	case *core.ReadReq:
 		// Baseline line fetch for the GPU's L2.
@@ -255,9 +336,10 @@ func (h *HMC) SubmitNSUWrite(p *core.WritePacket, now timing.PS) {
 	h.dispatch(p, now)
 }
 
-// Busy reports whether any vault or the overflow queue has work.
+// Busy reports whether any vault, the overflow queue, or an in-flight stack
+// page walk has work.
 func (h *HMC) Busy() bool {
-	if len(h.overflow) > 0 || len(h.pendingReads) > 0 {
+	if len(h.overflow) > 0 || len(h.pendingReads) > 0 || len(h.xlatQ) > 0 {
 		return true
 	}
 	for _, v := range h.vaults {
@@ -283,6 +365,15 @@ func (h *HMC) NextWorkAt(now timing.PS) timing.PS {
 		return now
 	}
 	wake := timing.Never
+	if len(h.xlatQ) > 0 {
+		// The queue is FIFO time-ordered (constant walk latency), so the
+		// head is the earliest walk completion.
+		if due := h.xlatQ[0].due; due <= now {
+			return now
+		} else if due < wake {
+			wake = due
+		}
+	}
 	sharp := h.flt == nil
 	for _, v := range h.vaults {
 		var w timing.PS
@@ -344,7 +435,7 @@ func (h *HMC) NumVaults() int { return len(h.vaults) }
 // at every vault plus entries in the retry-overflow queue. A metrics gauge;
 // side-effect free.
 func (h *HMC) QueueDepth() int {
-	d := len(h.overflow)
+	d := len(h.overflow) + len(h.xlatQ)
 	for _, v := range h.vaults {
 		d += v.Pending()
 	}

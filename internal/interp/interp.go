@@ -15,8 +15,21 @@ import (
 	"ndpgpu/internal/vm"
 )
 
+// Trace observes one global-memory access during a traced run: the CTA that
+// issued it, the (virtual) address, and whether it was a store. LDS/STS
+// scratchpad traffic is not reported — it never leaves the SM.
+type Trace func(cta int, addr uint64, store bool)
+
 // Run executes the kernel to completion over mem.
 func Run(k *kernel.Kernel, mem *vm.System) error {
+	return RunTraced(k, mem, nil)
+}
+
+// RunTraced is Run with an optional per-access trace hook, used by placement
+// backends to profile which CTAs touch which pages before the timing run.
+// The execution order (CTA-major, warps round-robin between barriers) is
+// deterministic, so the trace stream is too.
+func RunTraced(k *kernel.Kernel, mem *vm.System, tr Trace) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
@@ -43,7 +56,7 @@ func Run(k *kernel.Kernel, mem *vm.System) error {
 				if w.done {
 					continue
 				}
-				if err := w.runUntilBarrierOrExit(k, mem, smem); err != nil {
+				if err := w.runUntilBarrierOrExit(k, mem, smem, tr); err != nil {
 					return err
 				}
 				progressed = true
@@ -65,6 +78,7 @@ func Run(k *kernel.Kernel, mem *vm.System) error {
 
 type warpState struct {
 	pc        int
+	cta       int
 	mask      uint32
 	regs      [isa.NumRegs][32]uint64
 	done      bool
@@ -72,7 +86,7 @@ type warpState struct {
 }
 
 func newWarp(k *kernel.Kernel, cta, warpInCTA int) *warpState {
-	w := &warpState{}
+	w := &warpState{cta: cta}
 	base := warpInCTA * 32
 	for t := 0; t < 32; t++ {
 		tid := base + t
@@ -109,7 +123,7 @@ func (w *warpState) effMask(in isa.Instr) uint32 {
 }
 
 // runUntilBarrierOrExit steps the warp until it exits or reaches a barrier.
-func (w *warpState) runUntilBarrierOrExit(k *kernel.Kernel, mem *vm.System, smem map[uint64]uint32) error {
+func (w *warpState) runUntilBarrierOrExit(k *kernel.Kernel, mem *vm.System, smem map[uint64]uint32, tr Trace) error {
 	for steps := 0; steps < 1<<24; steps++ {
 		in := k.Code[w.pc]
 		switch in.Op {
@@ -158,9 +172,15 @@ func (w *warpState) runUntilBarrierOrExit(k *kernel.Kernel, mem *vm.System, smem
 			switch in.Op {
 			case isa.LD, isa.LDC:
 				addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+				if tr != nil {
+					tr(w.cta, addr, false)
+				}
 				w.regs[in.Dst][t] = uint64(mem.Read32(addr))
 			case isa.ST:
 				addr := w.regs[in.Src[0]][t] + uint64(in.Imm)
+				if tr != nil {
+					tr(w.cta, addr, true)
+				}
 				mem.Write32(addr, uint32(w.regs[in.Src[1]][t]))
 			case isa.LDS:
 				addr := w.regs[in.Src[0]][t] + uint64(in.Imm)

@@ -9,6 +9,7 @@ import (
 
 	"ndpgpu/internal/analyzer"
 	"ndpgpu/internal/audit"
+	"ndpgpu/internal/backend"
 	"ndpgpu/internal/cache"
 	"ndpgpu/internal/config"
 	"ndpgpu/internal/core"
@@ -509,7 +510,19 @@ func (m *Machine) serviceSwaps(now timing.PS) {
 }
 
 // Launch builds the program, decider, and machine for a kernel in one step.
+// The architecture backend named by cfg.Arch.Backend is resolved first: its
+// config rewrite and page-placement policy run before assembly, so the
+// machine is built for the selected design point. The default backend
+// ("paper") is a strict no-op on both.
 func Launch(cfg config.Config, k *kernel.Kernel, mem *vm.System, mode Mode) (*Machine, error) {
+	b, err := backend.For(cfg.Arch.Backend)
+	if err != nil {
+		return nil, err
+	}
+	cfg = b.Apply(cfg)
+	if err := b.PreparePlacement(cfg, k, mem); err != nil {
+		return nil, err
+	}
 	prog, err := BuildProgram(k, mode)
 	if err != nil {
 		return nil, err

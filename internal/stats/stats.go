@@ -121,6 +121,7 @@ type Stats struct {
 	L1I             CacheStats
 	L2              CacheStats
 	TLB             CacheStats // per-SM translation lookaside buffers, aggregated
+	StackTLB        CacheStats // per-stack NDP TLBs (ndpage backend), aggregated
 	DRAMReads       int64      // 128B read accesses at vaults
 	DRAMWrites      int64
 	DRAMActivations int64 // row activations
@@ -349,6 +350,7 @@ func FoldInto(dst, src *Stats) {
 	dst.L1I.fold(src.L1I)
 	dst.L2.fold(src.L2)
 	dst.TLB.fold(src.TLB)
+	dst.StackTLB.fold(src.StackTLB)
 	dst.DRAMReads += src.DRAMReads
 	dst.DRAMWrites += src.DRAMWrites
 	dst.DRAMActivations += src.DRAMActivations

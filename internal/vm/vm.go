@@ -43,6 +43,7 @@ type System struct {
 	brk     uint64
 	pageHMC []uint8
 	rng     *rand.Rand
+	seed    int64 // placement seed, kept so Clone can rebuild an rng
 }
 
 // heapBase is the first virtual address handed out; keeps address 0 invalid.
@@ -60,6 +61,7 @@ func New(cfg config.Config) *System {
 		pageShift:  uint(log2(cfg.Mem.PageBytes)),
 		vaultShift: uint(log2(line)),
 		rng:        rand.New(rand.NewSource(cfg.Mem.PlacementSeed)),
+		seed:       cfg.Mem.PlacementSeed,
 		brk:        heapBase,
 	}
 	s.bankShift = s.vaultShift + uint(log2(s.vaults))
@@ -184,3 +186,21 @@ func (s *System) PlacePage(addr uint64, hmc int) {
 
 // NumHMCs returns the number of stacks.
 func (s *System) NumHMCs() int { return s.numHMCs }
+
+// NumPages returns the number of pages currently mapped.
+func (s *System) NumPages() int { return len(s.pageHMC) }
+
+// Clone returns an independent deep copy of the system: same contents, same
+// placement, same allocation state. The clone's placement PRNG restarts from
+// the original seed — identical to a fresh System's stream, not a
+// continuation of the original's — which only matters if the clone allocates
+// new pages. Backends use clones to run functional pre-passes (e.g. a traced
+// interpreter run that profiles page access patterns) without perturbing the
+// memory image the timing simulation will execute over.
+func (s *System) Clone() *System {
+	c := *s
+	c.data = append([]byte(nil), s.data...)
+	c.pageHMC = append([]uint8(nil), s.pageHMC...)
+	c.rng = rand.New(rand.NewSource(s.seed))
+	return &c
+}
